@@ -1,0 +1,113 @@
+// Figure 6 — the two tentative approximate solutions the paper evaluates
+// and rejects before proposing the Monte-Carlo estimator.
+//
+//   (a) A1 "important objects": exact inclusion-exclusion over only the
+//       t most threatening candidates. Error decreases with t but time
+//       grows exponentially (the paper: >1 hour to reach t = 25).
+//   (b) A2 "partial joint probabilities": Eq. 4 truncated after a budget
+//       of terms. The truncated alternating sum is not even a
+//       probability — absolute errors well above 1 appear, worse than a
+//       random guess.
+//
+// Setup mirrors the paper: a uniform 5-d dataset with 1000 objects. The
+// reference value is Sam with a large sample budget (Det cannot finish
+// n = 1000; the reference's own error is ~1e-3, far below the effects
+// measured here).
+
+#include <chrono>
+#include <cmath>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace skypref;
+using namespace skypref::bench;
+
+struct Fig06Fixture {
+  Fig06Fixture()
+      : data(GenerateUniform(MakeConfig()).value()),
+        prefs(PaperPreferences()) {
+    for (ObjectId i = 1; i < data.size(); ++i) candidates.push_back(i);
+    MonteCarloOptions reference_options;
+    reference_options.samples = FullScale() ? 2000000 : 400000;
+    reference_options.seed = 99;
+    reference = MonteCarloSkylineProbability(data, kTarget, candidates, prefs,
+                                             reference_options)
+                    .value()
+                    .estimate;
+  }
+
+  static UniformOptions MakeConfig() {
+    UniformOptions options = UniformConfig(1000, 5);
+    options.values_per_dimension = 20;
+    return options;
+  }
+
+  static constexpr ObjectId kTarget = 0;
+  Dataset data;
+  HashedPreferenceModel prefs;
+  std::vector<ObjectId> candidates;
+  double reference = 0.0;
+};
+
+Fig06Fixture& Fixture() {
+  static Fig06Fixture* fixture = new Fig06Fixture();
+  return *fixture;
+}
+
+void BM_Fig06a_A1_TopObjects(benchmark::State& state) {
+  Fig06Fixture& fixture = Fixture();
+  const std::size_t top_t = static_cast<std::size_t>(state.range(0));
+  double error = 0.0;
+  for (auto _ : state) {
+    auto approx = ApproxTopObjects(fixture.data, Fig06Fixture::kTarget,
+                                   fixture.candidates, fixture.prefs, top_t);
+    if (!approx.ok()) {
+      state.SkipWithError(approx.status().ToString().c_str());
+      return;
+    }
+    error = std::abs(approx.value() - fixture.reference);
+    Keep(error);
+  }
+  state.counters["abs_error"] = error;
+}
+
+void BM_Fig06b_A2_PartialTerms(benchmark::State& state) {
+  Fig06Fixture& fixture = Fixture();
+  const std::uint64_t budget = static_cast<std::uint64_t>(state.range(0));
+  double error = 0.0;
+  std::uint64_t terms = 0;
+  for (auto _ : state) {
+    auto approx =
+        ApproxPartialTerms(fixture.data, Fig06Fixture::kTarget,
+                           fixture.candidates, fixture.prefs, budget);
+    if (!approx.ok()) {
+      state.SkipWithError(approx.status().ToString().c_str());
+      return;
+    }
+    error = std::abs(approx->estimate - fixture.reference);
+    terms = approx->terms_computed;
+    Keep(error);
+  }
+  state.counters["abs_error"] = error;
+  state.counters["terms"] = static_cast<double>(terms);
+}
+
+BENCHMARK(BM_Fig06a_A1_TopObjects)
+    ->Arg(5)->Arg(10)->Arg(15)->Arg(20)->Arg(25)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_Fig06b_A2_PartialTerms)
+    ->Arg(1000)->Arg(10000)->Arg(100000)->Arg(1000000)->Arg(5000000)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("== Figure 6: tentative approximations A1/A2 "
+              "(uniform, n=1000, d=5; reference = high-budget Sam) ==\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

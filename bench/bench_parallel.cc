@@ -1,0 +1,77 @@
+// Extension bench — thread-parallel solver variants (src/core/parallel.h).
+//
+// Det+ parallelizes over Theorem-4 groups, sampling over world chunks;
+// results are bit-identical to the serial path for every thread count
+// (asserted in tests; here we measure the scaling).
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace skypref;
+using namespace skypref::bench;
+
+void BM_Parallel_DetPlus(benchmark::State& state) {
+  const std::size_t threads = static_cast<std::size_t>(state.range(0));
+  Dataset data = GenerateBlockZipf(BlockZipfConfig(20000, 5)).value();
+  HashedPreferenceModel base = PaperPreferences();
+  BlockLocalPreferenceModel prefs = BlockPrefs(base);
+  ThreadPool pool(threads);
+  ExactOptions options;
+  options.prune_zero = false;  // as published
+  std::vector<ObjectId> targets = SampleTargets(data.size(), 4);
+  double sky = 0.0;
+  for (auto _ : state) {
+    for (ObjectId target : targets) {
+      sky = ParallelExactSkylineProbability(data, target, prefs, pool,
+                                            options)
+                .value();
+      Keep(sky);
+    }
+  }
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["sky_last"] = sky;
+}
+
+void BM_Parallel_AllWorlds(benchmark::State& state) {
+  const std::size_t threads = static_cast<std::size_t>(state.range(0));
+  BlockZipfOptions gen = BlockZipfConfig(1000, 3);
+  gen.block_size = 10;
+  Dataset data = GenerateBlockZipf(gen).value();
+  HashedPreferenceModel base = PaperPreferences();
+  BlockLocalPreferenceModel prefs = BlockPrefs(base);
+  ThreadPool pool(threads);
+  AllWorldsOptions options;
+  options.samples = 2000;
+  options.seed = 7;
+  double checksum = 0.0;
+  for (auto _ : state) {
+    auto all =
+        ParallelEstimateAllSkylineProbabilities(data, prefs, pool, options)
+            .value();
+    checksum = 0.0;
+    for (double estimate : all.estimates) checksum += estimate;
+    Keep(checksum);
+  }
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["expected_skyline_objects"] = checksum;
+}
+
+BENCHMARK(BM_Parallel_DetPlus)
+    ->Arg(0)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_Parallel_AllWorlds)
+    ->Arg(0)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("== Extension: thread scaling of Det+ (per-group) and "
+              "all-objects sampling (per-chunk); arg = worker threads, "
+              "0 = inline ==\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

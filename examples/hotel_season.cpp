@@ -1,0 +1,109 @@
+// Hotel rooms under season-dependent preferences.
+//
+// The paper's introduction motivates uncertain preferences with a tourist
+// who favours a beach-view room in scorching summer and a fireplace room
+// in chilly winter. Here a booking site models its mixed user population:
+// each preference probability is the fraction of users preferring one
+// categorical option over another, and a room's skyline probability is
+// the chance a random user finds no room that beats it outright.
+//
+// The example builds the instance from CSV text (exercising the io
+// module), solves it under a "summer" and a "winter" preference profile,
+// and shows how the ranking flips.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/skypref.h"
+
+namespace {
+
+constexpr char kRoomsCsv[] =
+    "view,heating,noise\n"
+    "beach,aircon,quiet\n"       // 0: summer dream
+    "beach,fireplace,street\n"   // 1: beach but noisy, winter-ready
+    "garden,fireplace,quiet\n"   // 2: winter dream
+    "garden,aircon,street\n"     // 3: weak all around
+    "courtyard,aircon,quiet\n";  // 4: compromise
+
+// Preference rows: dimension, a, b, Pr(a<b), Pr(b<a).
+struct PrefRow {
+  const char* dim;
+  const char* a;
+  const char* b;
+  double a_less;
+  double b_less;
+};
+
+skypref::TablePreferenceModel BuildPrefs(
+    const skypref::LoadedDataset& loaded, const std::vector<PrefRow>& rows) {
+  skypref::TablePreferenceModel model;
+  for (const PrefRow& row : rows) {
+    skypref::DimensionId dim = 0;
+    for (skypref::DimensionId j = 0; j < loaded.domain.dimensions(); ++j) {
+      if (loaded.domain.dimension_name(j) == row.dim) dim = j;
+    }
+    skypref::ValueId a = loaded.domain.FindValue(dim, row.a).value();
+    skypref::ValueId b = loaded.domain.FindValue(dim, row.b).value();
+    model.Set(dim, a, b, row.a_less, row.b_less).CheckOK();
+  }
+  return model;
+}
+
+void Report(const char* season, const skypref::LoadedDataset& loaded,
+            const skypref::TablePreferenceModel& prefs) {
+  auto solver = skypref::SkylineSolver::Create(loaded.dataset, prefs).value();
+  std::printf("%s bookings — skyline probability per room:\n", season);
+  for (skypref::ObjectId room = 0; room < loaded.dataset.size(); ++room) {
+    double sky = solver.Exact(room).value();
+    std::printf("  %-28s %.4f\n",
+                (loaded.domain.value_name(0, loaded.dataset.value(room, 0)) +
+                 " / " +
+                 loaded.domain.value_name(1, loaded.dataset.value(room, 1)) +
+                 " / " +
+                 loaded.domain.value_name(2, loaded.dataset.value(room, 2)))
+                    .c_str(),
+                sky);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  skypref::LoadedDataset loaded =
+      skypref::DatasetFromCsv(kRoomsCsv).value();
+
+  // Summer: most guests want the beach and air conditioning; quiet is
+  // broadly but not universally preferred over street noise.
+  skypref::TablePreferenceModel summer = BuildPrefs(
+      loaded,
+      {
+          {"view", "beach", "garden", 0.85, 0.15},
+          {"view", "beach", "courtyard", 0.90, 0.10},
+          {"view", "garden", "courtyard", 0.60, 0.40},
+          {"heating", "aircon", "fireplace", 0.95, 0.05},
+          {"noise", "quiet", "street", 0.70, 0.20},  // 10% do not care
+      });
+
+  // Winter: the same rooms, flipped tastes.
+  skypref::TablePreferenceModel winter = BuildPrefs(
+      loaded,
+      {
+          {"view", "beach", "garden", 0.30, 0.70},
+          {"view", "beach", "courtyard", 0.45, 0.55},
+          {"view", "garden", "courtyard", 0.65, 0.35},
+          {"heating", "aircon", "fireplace", 0.10, 0.90},
+          {"noise", "quiet", "street", 0.70, 0.20},
+      });
+
+  Report("SUMMER", loaded, summer);
+  Report("WINTER", loaded, winter);
+
+  std::printf(
+      "The same rooms swap places as the preference distribution moves:\n"
+      "skyline probability is a property of (objects, preferences), not of\n"
+      "the objects alone — exactly the scenario the paper models.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Nursery-school admissions — the paper's real-data scenario (Figure 15).
+//
+// Each of the 12,960 applications is an 8-attribute categorical object
+// (the UCI Nursery feature space, regenerated as the full Cartesian
+// product it is). Committee members disagree on how attribute values
+// rank — "preferences on number of children can vary dramatically" — so
+// the school models them as uncertain preferences; an application's
+// skyline probability is its chance of being undominated, i.e. of being
+// a defensible admit for a randomly drawn committee member.
+//
+// The example runs Det+ and Sam+ on a handful of applications of the
+// full 8-d dataset and prints the preprocessing effect, mirroring the
+// paper's observation that Det+ stays practical on Nursery despite the
+// exponential worst case.
+
+#include <cstdio>
+#include <string>
+
+#include "src/skypref.h"
+
+int main() {
+  using namespace skypref;
+
+  NurseryVariant nursery = GenerateNursery().value();
+  std::printf("Nursery feature space: %zu applications x %zu attributes\n\n",
+              nursery.dataset.size(), nursery.dataset.dimensions());
+
+  // Synthetic committee preferences, as in the paper (the data set ships
+  // no preference probabilities).
+  HashedPreferenceModel prefs(2013,
+                              HashedPreferenceModel::Style::kTotalUniform);
+
+  auto solver = SkylineSolver::Create(nursery.dataset, prefs).value();
+
+  const ObjectId applications[] = {0, 1295, 4242, 6480, 12959};
+  std::printf("%-10s %-34s %10s %10s %22s\n", "object", "profile (first 3)",
+              "Det+", "Sam+", "absorption/partition");
+  for (ObjectId id : applications) {
+    std::string profile;
+    for (DimensionId j = 0; j < 3; ++j) {
+      if (j > 0) profile += ", ";
+      profile += nursery.domain.value_name(j, nursery.dataset.value(id, j));
+    }
+
+    SolveStats stats;
+    SolverOptions det_plus;
+    double exact = solver.Exact(id, det_plus, &stats).value();
+
+    SolverOptions sam_plus;
+    sam_plus.monte_carlo.samples = 3000;  // the paper's empirical size
+    sam_plus.monte_carlo.seed = id;
+    double sampled = solver.MonteCarlo(id, sam_plus).value();
+
+    std::printf("%-10zu %-34s %10.3e %10.3e %9zu -> %zu/%zug\n", id,
+                profile.c_str(), exact, sampled, stats.candidates,
+                stats.after_absorption, stats.groups);
+  }
+
+  std::printf(
+      "\nAbsorption collapses 12,959 candidates to a handful per target —\n"
+      "on a full-product dataset every multi-attribute rival is absorbed\n"
+      "by a single-attribute one — which is why the exact solver is\n"
+      "instantaneous here while being #P-hard in general.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Quickstart: the paper's running example (Example 1 / Figure 4) through
+// the public API.
+//
+// Five 2-dimensional objects, every pair of attribute values equally
+// preferred with probability 1/2. The example walks the full toolbox:
+// dominance probabilities, the wrong independent-dominance shortcut, the
+// exact solver (Det/Det+), the Monte-Carlo estimator (Sam), and the
+// preprocessing diagnostics.
+//
+// Expected headline numbers (from the paper): sky(O) = 3/16 = 0.1875,
+// while independence would wrongly claim 9/64 = 0.140625.
+
+#include <cstdio>
+
+#include "src/skypref.h"
+
+int main() {
+  using namespace skypref;
+
+  // The objects: O is the one whose skyline probability we want.
+  Dataset data(2);
+  data.Append({0, 0}).CheckOK();  // O
+  data.Append({1, 1}).CheckOK();  // Q1
+  data.Append({1, 0}).CheckOK();  // Q2
+  data.Append({2, 2}).CheckOK();  // Q3
+  data.Append({0, 1}).CheckOK();  // Q4
+
+  // Uncertain preferences: the default TablePreferenceModel pair is
+  // (1/2, 1/2) — "the population is evenly split on every value pair".
+  TablePreferenceModel prefs;
+
+  auto solver_or = SkylineSolver::Create(data, prefs);
+  solver_or.status().CheckOK();
+  const SkylineSolver& solver = solver_or.value();
+
+  std::printf("Dominance probabilities against O:\n");
+  for (ObjectId q = 1; q < data.size(); ++q) {
+    std::printf("  Pr(Q%zu < O) = %.4f\n", q,
+                DominanceProbability(data, q, 0, prefs));
+  }
+
+  double wrong = solver.Independent(0).value();
+  std::printf("\nIndependent-dominance shortcut (Sacharidis et al.): %.6f\n",
+              wrong);
+
+  SolveStats stats;
+  SolverOptions det_plus;  // preprocessing on by default
+  double sky = solver.Exact(0, det_plus, &stats).value();
+  std::printf("Exact skyline probability (Det+):                    %.6f\n",
+              sky);
+  std::printf("  candidates %zu -> after absorption %zu -> %zu groups "
+              "(largest %zu)\n",
+              stats.candidates, stats.after_absorption, stats.groups,
+              stats.largest_group);
+
+  SolverOptions sam;
+  sam.preprocess = false;
+  sam.monte_carlo.epsilon = 0.01;
+  sam.monte_carlo.delta = 0.01;
+  sam.monte_carlo.seed = 7;
+  double estimate = solver.MonteCarlo(0, sam).value();
+  std::printf("Monte-Carlo estimate (Sam, eps=delta=0.01):          %.6f\n",
+              estimate);
+
+  std::printf("\nsky(O) = 3/16 = 0.1875; the shortcut's 9/64 = 0.140625 "
+              "underestimates it\nbecause Q1, Q2 and Q4 share attribute "
+              "values, making their dominance\nevents dependent.\n");
+  return 0;
+}

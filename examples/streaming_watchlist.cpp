@@ -1,0 +1,82 @@
+// Streaming watchlist: incremental skyline-probability maintenance plus
+// preference estimation from user votes.
+//
+// Scenario: a deal-aggregator watches ONE apartment listing ("our pick")
+// and wants to know, at every moment, the probability that no competing
+// listing beats it for a randomly drawn user. Preferences over
+// categorical attributes (neighbourhood, heating, floor) are estimated
+// from an A/B survey (VoteAggregator), and competitor listings stream in
+// one by one (IncrementalSkylineProbability) — each insertion only
+// recomputes the independence group it touches, per Theorems 3/4.
+
+#include <cstdio>
+
+#include "src/skypref.h"
+
+int main() {
+  using namespace skypref;
+
+  // Attribute universe. Dimension-local value ids:
+  //   neighbourhood: 0=riverside  1=old_town  2=suburbs
+  //   heating:       0=district   1=gas       2=electric
+  //   floor:         0=ground     1=middle    2=penthouse
+  const char* kNeighbourhood[] = {"riverside", "old_town", "suburbs"};
+  const char* kHeating[] = {"district", "gas", "electric"};
+  const char* kFloor[] = {"ground", "middle", "penthouse"};
+
+  // Survey results: (dim, a, b, a-wins, b-wins, can't-say).
+  VoteAggregator votes(/*smoothing=*/1.0);
+  votes.AddVotes(0, 0, 1, 55, 40, 5).CheckOK();   // riverside vs old_town
+  votes.AddVotes(0, 0, 2, 80, 15, 5).CheckOK();   // riverside vs suburbs
+  votes.AddVotes(0, 1, 2, 70, 25, 5).CheckOK();   // old_town vs suburbs
+  votes.AddVotes(1, 0, 1, 45, 45, 10).CheckOK();  // district vs gas
+  votes.AddVotes(1, 0, 2, 65, 25, 10).CheckOK();
+  votes.AddVotes(1, 1, 2, 60, 30, 10).CheckOK();
+  votes.AddVotes(2, 1, 0, 75, 15, 10).CheckOK();  // middle vs ground
+  votes.AddVotes(2, 2, 0, 70, 20, 10).CheckOK();  // penthouse vs ground
+  votes.AddVotes(2, 2, 1, 50, 40, 10).CheckOK();
+  TablePreferenceModel prefs = votes.BuildModel().value();
+
+  std::printf("Estimated preferences (with Laplace smoothing):\n");
+  for (DimensionId j = 0; j < 3; ++j) {
+    const char** names = j == 0 ? kNeighbourhood : j == 1 ? kHeating : kFloor;
+    for (ValueId a = 0; a < 3; ++a) {
+      for (ValueId b = a + 1; b < 3; ++b) {
+        PrefPair pair = prefs.GetPair(j, a, b);
+        std::printf("  Pr(%-10s < %-10s) = %.3f   (incomparable %.3f)\n",
+                    names[a], names[b], pair.less, pair.incomparable());
+      }
+    }
+  }
+
+  // Our pick: riverside, district heating, middle floor.
+  IncrementalSkylineProbability watch({0, 0, 1}, prefs);
+  std::printf("\nOur pick: riverside / district / middle\n");
+  std::printf("%-42s %10s %8s %8s\n", "incoming competitor", "sky(pick)",
+              "groups", "solves");
+
+  struct Competitor {
+    const char* label;
+    ValueId n, h, f;
+  };
+  const Competitor stream[] = {
+      {"old_town / gas / middle", 1, 1, 1},
+      {"suburbs / electric / penthouse", 2, 2, 2},
+      {"riverside / gas / penthouse", 0, 1, 2},
+      {"old_town / district / ground", 1, 0, 0},
+      {"riverside / district / penthouse", 0, 0, 2},
+      {"old_town / gas / penthouse", 1, 1, 2},
+      {"suburbs / district / middle", 2, 0, 1},
+  };
+  for (const Competitor& c : stream) {
+    double sky = watch.AddCandidate({c.n, c.h, c.f}).value();
+    std::printf("%-42s %10.4f %8zu %8llu\n", c.label, sky,
+                watch.group_count(),
+                static_cast<unsigned long long>(watch.exact_solves()));
+  }
+
+  std::printf(
+      "\nEach arrival re-solved only the independence group it touched\n"
+      "(Theorem 4); absorbed competitors (Theorem 3) cost nothing at all.\n");
+  return 0;
+}

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Builds everything, runs the full test suite, and regenerates every
+# table/figure of the paper (quick scale by default; set
+# SKYPREF_BENCH_SCALE=full for the paper's cardinalities).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build --output-on-failure
+
+for bench in build/bench/bench_*; do
+  echo
+  echo "================ $(basename "$bench") ================"
+  "$bench"
+done
+
+echo
+echo "Examples:"
+for example in build/examples/*; do
+  echo
+  echo "================ $(basename "$example") ================"
+  "$example"
+done

@@ -1,0 +1,85 @@
+#include "src/core/absorption.h"
+
+#include <unordered_map>
+
+#include "src/util/hash.h"
+
+namespace skypref {
+
+bool Absorbs(const Dataset& data, ObjectId target, ObjectId absorber,
+             ObjectId absorbed) {
+  if (absorber == absorbed) return false;
+  bool differs_somewhere = false;
+  for (DimensionId j = 0; j < data.dimensions(); ++j) {
+    if (data.value(absorber, j) == data.value(target, j)) continue;
+    differs_somewhere = true;
+    if (data.value(absorbed, j) != data.value(absorber, j)) return false;
+  }
+  return differs_somewhere;
+}
+
+std::vector<ObjectId> AbsorbCandidates(const Dataset& data, ObjectId target,
+                                       std::span<const ObjectId> candidates,
+                                       AbsorptionStats* stats) {
+  const DimensionId d = static_cast<DimensionId>(data.dimensions());
+
+  // Posting lists: (dim, value) -> candidate positions using that value.
+  std::unordered_map<std::pair<DimensionId, ValueId>, std::vector<std::size_t>,
+                     PairHash>
+      postings;
+  for (std::size_t pos = 0; pos < candidates.size(); ++pos) {
+    for (DimensionId j = 0; j < d; ++j) {
+      postings[{j, data.value(candidates[pos], j)}].push_back(pos);
+    }
+  }
+
+  std::vector<bool> removed(candidates.size(), false);
+  for (std::size_t pos = 0; pos < candidates.size(); ++pos) {
+    if (removed[pos]) continue;  // absorbed candidates never absorb others
+    const ObjectId absorber = candidates[pos];
+
+    // Gamma = dimensions where the absorber differs from the target; pick
+    // the dimension with the shortest posting list to drive the scan.
+    DimensionId best_dim = d;
+    std::size_t best_size = static_cast<std::size_t>(-1);
+    bool differs_somewhere = false;
+    for (DimensionId j = 0; j < d; ++j) {
+      ValueId v = data.value(absorber, j);
+      if (v == data.value(target, j)) continue;
+      differs_somewhere = true;
+      auto it = postings.find({j, v});
+      std::size_t size = it == postings.end() ? 0 : it->second.size();
+      if (size < best_size) {
+        best_size = size;
+        best_dim = j;
+      }
+    }
+    if (!differs_somewhere) {
+      // The candidate duplicates the target on all dimensions; it cannot
+      // strictly dominate and is dropped outright.
+      removed[pos] = true;
+      continue;
+    }
+
+    const auto& list = postings[{best_dim, data.value(absorber, best_dim)}];
+    for (std::size_t other_pos : list) {
+      if (other_pos == pos || removed[other_pos]) continue;
+      if (Absorbs(data, target, absorber, candidates[other_pos])) {
+        removed[other_pos] = true;
+      }
+    }
+  }
+
+  std::vector<ObjectId> survivors;
+  survivors.reserve(candidates.size());
+  for (std::size_t pos = 0; pos < candidates.size(); ++pos) {
+    if (!removed[pos]) survivors.push_back(candidates[pos]);
+  }
+  if (stats != nullptr) {
+    stats->input_candidates = candidates.size();
+    stats->absorbed = candidates.size() - survivors.size();
+  }
+  return survivors;
+}
+
+}  // namespace skypref

@@ -1,0 +1,49 @@
+#ifndef SKYPREF_CORE_ABSORPTION_H_
+#define SKYPREF_CORE_ABSORPTION_H_
+
+/// \file
+/// The "absorption" preprocessing technique (Section 5, Theorem 3,
+/// Algorithm 3).
+///
+/// Candidate Qj is absorbed by candidate Qi when Qj matches Qi on every
+/// dimension where Qi differs from the target O. In any possible world
+/// where Qj dominates O, Qi also dominates O (on the differing dimensions
+/// Qi's values ARE Qj's values; elsewhere Qi equals O), so the event
+/// "Qj dominates O" is contained in "Qi dominates O" and Qj contributes
+/// nothing to sky(O) = Pr(no candidate dominates O). Absorption is
+/// transitive (Corollary 1), so one pass in arbitrary order suffices.
+///
+/// Complexity: posting lists per (dimension, value) make the scan roughly
+/// O(n d) for the value distributions of the evaluation; the degenerate
+/// worst case (everything collides) is O(n^2 d) like the paper's one-pass
+/// description.
+
+#include <span>
+#include <vector>
+
+#include "src/model/dataset.h"
+#include "src/model/types.h"
+
+namespace skypref {
+
+struct AbsorptionStats {
+  std::size_t input_candidates = 0;
+  std::size_t absorbed = 0;
+};
+
+/// Returns the candidates that survive absorption, in their input order.
+/// Candidates equal to the target on every dimension (duplicates) are
+/// dropped as well — they can never strictly dominate.
+std::vector<ObjectId> AbsorbCandidates(const Dataset& data, ObjectId target,
+                                       std::span<const ObjectId> candidates,
+                                       AbsorptionStats* stats = nullptr);
+
+/// True iff \p absorbed is absorbed by \p absorber with respect to
+/// \p target, i.e. they match on every dimension where the absorber
+/// differs from the target (and the absorber does differ somewhere).
+bool Absorbs(const Dataset& data, ObjectId target, ObjectId absorber,
+             ObjectId absorbed);
+
+}  // namespace skypref
+
+#endif  // SKYPREF_CORE_ABSORPTION_H_

@@ -1,0 +1,132 @@
+#ifndef SKYPREF_CORE_ALL_WORLDS_H_
+#define SKYPREF_CORE_ALL_WORLDS_H_
+
+/// \file
+/// Shared-world estimation of EVERY object's skyline probability.
+///
+/// The paper's concluding section leaves "probabilistic skyline over
+/// uncertain preferences" (all objects at once) as future work, noting
+/// that the naive approach runs Algorithm 2 once per object. This module
+/// implements the natural improvement: one stream of sampled worlds is
+/// shared by all objects — each world yields a skyline-membership bit for
+/// every object simultaneously, so n estimates cost one world stream
+/// instead of n.
+///
+/// Unlike the single-target estimator, dominance checks here run between
+/// arbitrary object pairs, so a sampled preference must carry its full
+/// ternary outcome (a preferred / b preferred / incomparable) and be
+/// shared consistently across all checks in the world. Note that sampled
+/// preference worlds need not be transitive (the model only constrains
+/// pairs), so sort-based skyline shortcuts are invalid and membership is
+/// decided by direct dominator search with early exit.
+///
+/// By Hoeffding plus a union bound over the n objects, m =
+/// ln(2n/delta) / (2 epsilon^2) worlds bound every estimate's error by
+/// epsilon simultaneously with confidence 1 - delta.
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/model/dataset.h"
+#include "src/model/preference_model.h"
+#include "src/model/types.h"
+#include "src/util/random.h"
+#include "src/util/status.h"
+
+namespace skypref {
+
+struct AllWorldsOptions {
+  double epsilon = 0.02;
+  double delta = 0.05;
+  /// Explicit world count; 0 derives it from epsilon/delta with the union
+  /// bound over all objects.
+  std::uint64_t samples = 0;
+  std::uint64_t seed = 0xa11c0e5ULL;
+};
+
+struct AllWorldsResult {
+  /// estimates[i] approximates sky(object i).
+  std::vector<double> estimates;
+  std::uint64_t samples = 0;
+  /// Total ternary preference draws across all worlds.
+  std::uint64_t pair_draws = 0;
+};
+
+/// Worlds needed for simultaneous epsilon/delta guarantees over n objects.
+std::uint64_t AllWorldsSampleSize(double epsilon, double delta, std::size_t n);
+
+/// Precompiled shared-world sampling plan: a global table of ternary
+/// preference variables plus, per object, its possible dominators sorted
+/// by dominance probability (the Algorithm-2 checking-sequence idea
+/// applied to every target). Candidates with dominance probability
+/// exactly zero are dropped — they can never dominate in any world.
+///
+/// One world is shared by all targets: preferences are sampled lazily and
+/// memoized per world, so two targets querying the same value pair see
+/// the same orientation. Construction is O(n^2 d) worst case but only
+/// stores possible dominators. Powers EstimateAllSkylineProbabilities and
+/// the top-k race (src/core/topk_race.h).
+class SharedWorldSampler {
+ public:
+  SharedWorldSampler(const Dataset& data, const PreferenceModel& model);
+
+  /// Number of distinct ternary preference variables discovered.
+  std::size_t pair_count() const { return pair_less_.size(); }
+
+  /// Possible dominators of \p target (after zero-probability filtering).
+  std::size_t candidate_count(ObjectId target) const {
+    return per_target_[target].size();
+  }
+
+  /// Advances to a fresh world; previously sampled outcomes are dropped.
+  void NextWorld() { ++epoch_; }
+
+  /// True iff \p target survives (is undominated in) the current world.
+  /// Preferences are sampled on demand from \p rng and shared across all
+  /// Survives() calls of the same world.
+  bool Survives(ObjectId target, Rng& rng, std::uint64_t* pair_draws);
+
+ private:
+  enum class Orientation : std::uint8_t {
+    kLoPreferred,
+    kHiPreferred,
+    kIncomparable,
+  };
+  struct Requirement {
+    std::uint32_t pair_index;
+    Orientation want;
+  };
+  struct Candidate {
+    double dominance_probability;
+    std::vector<Requirement> requirements;
+  };
+
+  std::vector<double> pair_less_;
+  std::vector<double> pair_greater_;
+  std::vector<std::vector<Candidate>> per_target_;
+  std::vector<Orientation> outcome_;
+  std::vector<std::uint64_t> epoch_mark_;
+  std::uint64_t epoch_ = 0;
+};
+
+/// Estimates sky() of every object by shared-world sampling.
+Result<AllWorldsResult> EstimateAllSkylineProbabilities(
+    const Dataset& data, const PreferenceModel& model,
+    const AllWorldsOptions& options = {});
+
+/// Probabilistic skyline query: objects whose estimated skyline
+/// probability is at least \p tau, in increasing object order.
+Result<std::vector<ObjectId>> ProbabilisticSkyline(
+    const Dataset& data, const PreferenceModel& model, double tau,
+    const AllWorldsOptions& options = {});
+
+/// Top-k objects by estimated skyline probability (ties broken by object
+/// id), highest first.
+Result<std::vector<std::pair<ObjectId, double>>> TopKSkyline(
+    const Dataset& data, const PreferenceModel& model, std::size_t k,
+    const AllWorldsOptions& options = {});
+
+}  // namespace skypref
+
+#endif  // SKYPREF_CORE_ALL_WORLDS_H_

@@ -1,0 +1,90 @@
+#ifndef SKYPREF_CORE_BOUNDS_H_
+#define SKYPREF_CORE_BOUNDS_H_
+
+/// \file
+/// Certified deterministic bounds on the skyline probability.
+///
+/// Section 4 of the paper rejects truncating the inclusion-exclusion
+/// series (approximation "A2") because the truncated sum is not even a
+/// probability. The sound version of the same idea are the Bonferroni
+/// inequalities: writing S_k for the level-k term of Eq. 4,
+///
+///     P(union e_i) <= S_1               P(union e_i) >= S_1 - S_2
+///     P(union e_i) <= S_1 - S_2 + S_3   ...
+///
+/// so truncating sky(O) = 1 - P(union e_i) after a FULL odd level yields
+/// a certified lower bound and after a full even level a certified upper
+/// bound. Levels cost C(n, k) terms, so the bounds are cheap for small k
+/// and tighten as k grows, reaching the exact value at k = n.
+///
+/// BoundedSkylineProbability computes the tightest interval a term
+/// budget allows. DecideThreshold answers "is sky(O) >= tau?" by
+/// escalating levels until the interval excludes tau, falling back to
+/// the exact solver when the budget is exhausted — a certified
+/// threshold test that is often far cheaper than a full exact solve, and
+/// the engine behind the exact probabilistic-skyline query
+/// (src/core/prob_skyline.h).
+
+#include <cstdint>
+#include <span>
+
+#include "src/model/dataset.h"
+#include "src/model/preference_model.h"
+#include "src/model/types.h"
+#include "src/util/status.h"
+
+namespace skypref {
+
+struct BoundsOptions {
+  /// Highest inclusion-exclusion level to complete (clamped to n).
+  std::size_t max_level = 3;
+  /// Abort level escalation once this many joint probabilities have been
+  /// computed (0 = unlimited). A level is only used if fully computed.
+  std::uint64_t term_budget = 1u << 20;
+};
+
+struct SkylineBounds {
+  double lower = 0.0;
+  double upper = 1.0;
+  /// Deepest fully-computed inclusion-exclusion level.
+  std::size_t level = 0;
+  /// Joint probabilities evaluated.
+  std::uint64_t terms_computed = 0;
+  /// True when lower == upper == the exact value (all n levels done).
+  bool exact = false;
+
+  double width() const { return upper - lower; }
+};
+
+/// Certified interval for sky(target) over the given candidates.
+Result<SkylineBounds> BoundedSkylineProbability(
+    const Dataset& data, ObjectId target, std::span<const ObjectId> candidates,
+    const PreferenceModel& model, const BoundsOptions& options = {});
+
+/// Convenience wrapper: all objects but the target.
+Result<SkylineBounds> BoundedSkylineProbability(
+    const Dataset& data, ObjectId target, const PreferenceModel& model,
+    const BoundsOptions& options = {});
+
+/// Certified interval computed AFTER absorption + partition: each
+/// independent group gets its own Bonferroni interval and the per-group
+/// intervals multiply (all values in [0,1], so interval products are
+/// monotone). Far tighter than the flat bound whenever the candidate set
+/// partitions, and exact whenever every group is small enough to finish
+/// all its levels within the options.
+Result<SkylineBounds> BoundedSkylineProbabilityPreprocessed(
+    const Dataset& data, ObjectId target, const PreferenceModel& model,
+    const BoundsOptions& options = {});
+
+/// Certified answer to "sky(target) >= tau?". Tries bounds of increasing
+/// level first (with absorption + partition so each group's interval is
+/// cheap), then falls back to the exact solver. The answer is always
+/// correct; only the cost varies.
+Result<bool> DecideThreshold(const Dataset& data, ObjectId target,
+                             const PreferenceModel& model, double tau,
+                             const BoundsOptions& options = {},
+                             bool* used_exact_fallback = nullptr);
+
+}  // namespace skypref
+
+#endif  // SKYPREF_CORE_BOUNDS_H_

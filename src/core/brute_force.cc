@@ -1,0 +1,19 @@
+#include "src/core/brute_force.h"
+
+namespace skypref {
+
+Result<double> BruteForceSkylineProbability(const Dataset& data,
+                                            ObjectId target,
+                                            const PreferenceModel& model,
+                                            const BruteForceOptions& options,
+                                            BruteForceStats* stats) {
+  std::vector<ObjectId> candidates;
+  candidates.reserve(data.size() > 0 ? data.size() - 1 : 0);
+  for (ObjectId id = 0; id < data.size(); ++id) {
+    if (id != target) candidates.push_back(id);
+  }
+  return BruteForceSkylineProbability(data, target, candidates,
+                                      DoubleOracle(model), options, stats);
+}
+
+}  // namespace skypref

@@ -1,0 +1,10 @@
+#include "src/core/dominance.h"
+
+namespace skypref {
+
+double DominanceProbability(const Dataset& data, ObjectId candidate,
+                            ObjectId target, const PreferenceModel& model) {
+  return DominanceProbability(data, candidate, target, DoubleOracle(model));
+}
+
+}  // namespace skypref

@@ -1,0 +1,20 @@
+#include "src/core/exact.h"
+
+#include <numeric>
+
+namespace skypref {
+
+Result<double> ExactSkylineProbability(const Dataset& data, ObjectId target,
+                                       const PreferenceModel& model,
+                                       const ExactOptions& options,
+                                       ExactStats* stats) {
+  std::vector<ObjectId> candidates;
+  candidates.reserve(data.size() > 0 ? data.size() - 1 : 0);
+  for (ObjectId id = 0; id < data.size(); ++id) {
+    if (id != target) candidates.push_back(id);
+  }
+  return ExactSkylineProbability(data, target, candidates, DoubleOracle(model),
+                                 options, stats);
+}
+
+}  // namespace skypref

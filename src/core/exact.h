@@ -1,0 +1,213 @@
+#ifndef SKYPREF_CORE_EXACT_H_
+#define SKYPREF_CORE_EXACT_H_
+
+/// \file
+/// Deterministic skyline-probability computation (Algorithm 1, "Det").
+///
+/// Evaluates the inclusion-exclusion expansion of Eq. 4,
+///
+///   sky(O) = 1 + sum_{k=1..n} (-1)^k sum_{|I|=k} Pr(E_I),
+///   Pr(E_I) = prod_j prod_{v in V_I^j} Pr(v <= O.j)   (distinct values!)
+///
+/// using the paper's sharing-computation technique: Pr(E_I) is derived
+/// from Pr(E_{I \ {i}}) by multiplying in only the value factors that Qi
+/// newly contributes, an O(d) step. The paper materializes level k from
+/// level k-1, which needs C(n, n/2) memory; walking subsets in DFS order
+/// achieves the same O(d)-per-subset sharing with O(nd) memory, because
+/// adding/removing one object from the running subset touches at most d
+/// per-dimension value counters.
+///
+/// Additional engineering on top of the paper:
+///  * zero subtrees are pruned — once Pr(E_I) = 0, every superset of I
+///    also has probability 0 and contributes nothing (toggle via
+///    ExactOptions::prune_zero for the ablation bench);
+///  * a work budget and wall-clock limit so benches can report "did not
+///    finish" instead of hanging (the problem is #P-complete; Det is
+///    exponential by design).
+
+#include <chrono>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/core/oracles.h"
+#include "src/model/dataset.h"
+#include "src/model/preference_model.h"
+#include "src/model/types.h"
+#include "src/util/status.h"
+
+namespace skypref {
+
+struct ExactOptions {
+  /// Abort with ResourceExhausted after visiting this many subsets
+  /// (0 = unlimited). Each visited subset costs O(d).
+  std::uint64_t max_subsets = 0;
+
+  /// Abort with ResourceExhausted after this much wall time
+  /// (0 = unlimited). Checked every few thousand subsets.
+  double time_limit_seconds = 0.0;
+
+  /// Skip subtrees whose joint probability is exactly zero.
+  bool prune_zero = true;
+};
+
+/// Statistics of one exact computation, for benches and tests.
+struct ExactStats {
+  std::uint64_t subsets_visited = 0;
+};
+
+/// Computes sky(target) exactly, considering only the dominators listed in
+/// \p candidates (callers pass all other objects, or a preprocessed
+/// subset). Object values listed in \p candidates must not equal target.
+///
+/// Numeric-generic: instantiate with DoubleOracle for speed or
+/// RationalOracle for bit-exact results.
+template <typename Oracle>
+Result<typename Oracle::NumType> ExactSkylineProbability(
+    const Dataset& data, ObjectId target, std::span<const ObjectId> candidates,
+    const Oracle& oracle, const ExactOptions& options = {},
+    ExactStats* stats = nullptr);
+
+/// Convenience wrapper over all objects except \p target, double
+/// precision, no preprocessing (the paper's plain "Det").
+Result<double> ExactSkylineProbability(const Dataset& data, ObjectId target,
+                                       const PreferenceModel& model,
+                                       const ExactOptions& options = {},
+                                       ExactStats* stats = nullptr);
+
+// -------------------------------------------------------------------------
+// Implementation
+// -------------------------------------------------------------------------
+
+namespace internal {
+
+template <typename Oracle>
+class ExactEngine {
+ public:
+  using Num = typename Oracle::NumType;
+
+  ExactEngine(const Dataset& data, ObjectId target,
+              std::span<const ObjectId> candidates, const Oracle& oracle,
+              const ExactOptions& options)
+      : data_(data),
+        target_(target),
+        candidates_(candidates),
+        oracle_(oracle),
+        options_(options),
+        deadline_valid_(options.time_limit_seconds > 0.0) {
+    if (deadline_valid_) {
+      deadline_ = std::chrono::steady_clock::now() +
+                  std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(options.time_limit_seconds));
+    }
+    // Per-dimension counters sized to the largest value id we will see.
+    counts_.resize(data.dimensions());
+    for (DimensionId j = 0; j < data.dimensions(); ++j) {
+      ValueId bound = data.value(target, j) + 1;
+      for (ObjectId id : candidates) {
+        bound = std::max(bound, static_cast<ValueId>(data.value(id, j) + 1));
+      }
+      counts_[j].assign(bound, 0);
+    }
+  }
+
+  Result<Num> Run(ExactStats* stats) {
+    status_ = Status::OK();
+    accumulator_ = Accumulator<Num>();
+    accumulator_.Add(Num(1));  // the k = 0 term of Eq. 4
+    visited_ = 0;
+    Dfs(0, Num(1), /*positive_sign=*/false);
+    if (stats != nullptr) stats->subsets_visited = visited_;
+    if (!status_.ok()) return status_;
+    return accumulator_.Value();
+  }
+
+ private:
+  // Extends the current subset with each candidate index >= next in turn.
+  // `product` is Pr(E_I) for the current subset I; `positive_sign` is the
+  // sign of the NEXT level's terms ((-1)^{|I|+1}).
+  void Dfs(std::size_t next, const Num& product, bool positive_sign) {
+    for (std::size_t i = next; i < candidates_.size() && status_.ok(); ++i) {
+      if (!ChargeVisit()) return;
+      Num extended = product;
+      // Multiply in the factors of values Qi newly contributes (sharing
+      // computation: values already present in I contribute nothing).
+      std::span<const ValueId> q = data_.object(candidates_[i]);
+      std::span<const ValueId> o = data_.object(target_);
+      for (DimensionId j = 0; j < data_.dimensions(); ++j) {
+        if (q[j] == o[j]) continue;
+        if (counts_[j][q[j]]++ == 0) {
+          extended = extended * oracle_.LessEq(j, q[j], o[j]);
+        }
+      }
+      accumulator_.Add(positive_sign ? extended : -extended);
+      if (!options_.prune_zero || !(extended == Num(0))) {
+        Dfs(i + 1, extended, !positive_sign);
+      }
+      for (DimensionId j = 0; j < data_.dimensions(); ++j) {
+        if (q[j] != o[j]) --counts_[j][q[j]];
+      }
+    }
+  }
+
+  bool ChargeVisit() {
+    ++visited_;
+    if (options_.max_subsets != 0 && visited_ > options_.max_subsets) {
+      status_ = Status::ResourceExhausted(
+          "exact solver exceeded subset budget of " +
+          std::to_string(options_.max_subsets));
+      return false;
+    }
+    if (deadline_valid_ && (visited_ & 0xfff) == 0 &&
+        std::chrono::steady_clock::now() > deadline_) {
+      status_ = Status::ResourceExhausted(
+          "exact solver exceeded time limit of " +
+          std::to_string(options_.time_limit_seconds) + "s");
+      return false;
+    }
+    return true;
+  }
+
+  const Dataset& data_;
+  ObjectId target_;
+  std::span<const ObjectId> candidates_;
+  const Oracle& oracle_;
+  ExactOptions options_;
+
+  std::vector<std::vector<std::uint32_t>> counts_;  // per dim: value -> count
+  Accumulator<Num> accumulator_;
+  std::uint64_t visited_ = 0;
+  Status status_;
+  bool deadline_valid_;
+  std::chrono::steady_clock::time_point deadline_;
+};
+
+}  // namespace internal
+
+template <typename Oracle>
+Result<typename Oracle::NumType> ExactSkylineProbability(
+    const Dataset& data, ObjectId target, std::span<const ObjectId> candidates,
+    const Oracle& oracle, const ExactOptions& options, ExactStats* stats) {
+  if (target >= data.size()) {
+    return Status::OutOfRange("target object " + std::to_string(target) +
+                              " out of range (n=" + std::to_string(data.size()) +
+                              ")");
+  }
+  for (ObjectId id : candidates) {
+    if (id >= data.size()) {
+      return Status::OutOfRange("candidate object " + std::to_string(id) +
+                                " out of range");
+    }
+    if (id == target) {
+      return Status::InvalidArgument(
+          "candidate list must not contain the target object");
+    }
+  }
+  internal::ExactEngine<Oracle> engine(data, target, candidates, oracle,
+                                       options);
+  return engine.Run(stats);
+}
+
+}  // namespace skypref
+
+#endif  // SKYPREF_CORE_EXACT_H_

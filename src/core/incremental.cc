@@ -1,0 +1,130 @@
+#include "src/core/incremental.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/core/absorption.h"
+
+namespace skypref {
+
+namespace {
+
+std::uint64_t ValueKey(DimensionId dim, ValueId value) {
+  return (static_cast<std::uint64_t>(dim) << 32) | value;
+}
+
+}  // namespace
+
+IncrementalSkylineProbability::IncrementalSkylineProbability(
+    std::vector<ValueId> target_values, const PreferenceModel& model,
+    ExactOptions group_options)
+    : model_(model),
+      group_options_(group_options),
+      data_(target_values.size()) {
+  data_.Append(target_values).CheckOK();
+}
+
+std::size_t IncrementalSkylineProbability::FindRoot(std::size_t slot) const {
+  while (parent_[slot] != slot) slot = parent_[slot];
+  return slot;
+}
+
+double IncrementalSkylineProbability::probability() const {
+  double product = 1.0;
+  for (const Group& group : groups_) {
+    if (!group.merged_away) product *= group.survival;
+  }
+  return product;
+}
+
+Result<double> IncrementalSkylineProbability::AddCandidate(
+    std::span<const ValueId> values) {
+  if (values.size() != data_.dimensions()) {
+    return Status::InvalidArgument(
+        "candidate has " + std::to_string(values.size()) +
+        " values, expected " + std::to_string(data_.dimensions()));
+  }
+  // Reject duplicates of the target or of any previously added candidate
+  // (including absorbed ones — they are still rows of data_).
+  for (ObjectId row = 0; row < data_.size(); ++row) {
+    bool same = true;
+    for (DimensionId j = 0; j < data_.dimensions(); ++j) {
+      if (data_.value(row, j) != values[j]) {
+        same = false;
+        break;
+      }
+    }
+    if (same) {
+      return Status::AlreadyExists(
+          row == 0 ? "candidate duplicates the target object"
+                   : "candidate duplicates a previously added object");
+    }
+  }
+
+  // Groups this candidate touches (shared non-target values).
+  std::set<std::size_t> touched_roots;
+  for (DimensionId j = 0; j < data_.dimensions(); ++j) {
+    if (values[j] == data_.value(0, j)) continue;
+    auto it = value_to_group_.find(ValueKey(j, values[j]));
+    if (it != value_to_group_.end()) touched_roots.insert(FindRoot(it->second));
+  }
+
+  // Tentative merged member list (committed only on success).
+  std::vector<ObjectId> members;
+  for (std::size_t root : touched_roots) {
+    const auto& group_members = groups_[root].members;
+    members.insert(members.end(), group_members.begin(), group_members.end());
+  }
+  const ObjectId new_row = data_.size();
+  SKYPREF_RETURN_IF_ERROR(data_.Append(values));
+  members.push_back(new_row);
+
+  std::vector<ObjectId> survivors = AbsorbCandidates(data_, 0, members);
+  DoubleOracle oracle(model_);
+  auto survival =
+      ExactSkylineProbability(data_, 0, survivors, oracle, group_options_);
+  if (!survival.ok()) {
+    // Roll back the appended row is impossible on Dataset; instead keep
+    // the row but leave all bookkeeping untouched — the row is inert.
+    // Future duplicate checks still see it, which is correct.
+    return survival.status();
+  }
+
+  // Commit: create the merged group, retire the touched ones.
+  Group merged;
+  merged.members = std::move(survivors);
+  merged.survival = survival.value();
+  std::size_t new_slot = groups_.size();
+  groups_.push_back(std::move(merged));
+  parent_.push_back(new_slot);
+  for (std::size_t root : touched_roots) {
+    groups_[root].merged_away = true;
+    groups_[root].members.clear();
+    parent_[root] = new_slot;
+    --live_groups_;
+  }
+  ++live_groups_;
+  // Index every non-target value of the merged group's survivors AND of
+  // the new candidate (even if absorbed, its values still couple future
+  // candidates to this group — absorption removed it from the solve, not
+  // from the value space).
+  for (ObjectId row : groups_[new_slot].members) {
+    for (DimensionId j = 0; j < data_.dimensions(); ++j) {
+      if (data_.value(row, j) == data_.value(0, j)) continue;
+      value_to_group_[ValueKey(j, data_.value(row, j))] = new_slot;
+    }
+  }
+  for (DimensionId j = 0; j < data_.dimensions(); ++j) {
+    if (values[j] == data_.value(0, j)) continue;
+    value_to_group_[ValueKey(j, values[j])] = new_slot;
+  }
+
+  live_candidates_ = 0;
+  for (const Group& group : groups_) {
+    if (!group.merged_away) live_candidates_ += group.members.size();
+  }
+  ++exact_solves_;
+  return probability();
+}
+
+}  // namespace skypref

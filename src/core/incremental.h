@@ -1,0 +1,94 @@
+#ifndef SKYPREF_CORE_INCREMENTAL_H_
+#define SKYPREF_CORE_INCREMENTAL_H_
+
+/// \file
+/// Incremental maintenance of one object's skyline probability under
+/// candidate insertions.
+///
+/// The skyline literature the paper builds on includes streaming
+/// variants (sliding-window skylines); the natural analogue here is
+/// keeping sky(O) current as rival objects arrive. Recomputing from
+/// scratch costs a full Det+ solve per insertion; this module exploits
+/// the same structure the preprocessing theorems expose:
+///
+///  * Theorem 4 (partition): a new candidate only interacts with the
+///    independence groups it shares attribute values with. Those groups
+///    merge, ONE exact solve over the merged group refreshes its
+///    survival probability, and every other group's cached factor is
+///    untouched.
+///  * Theorem 3 (absorption): within the merged group, absorbed
+///    candidates are dropped before the solve; a new candidate that is
+///    itself absorbed costs O(group size) and changes nothing.
+///
+/// sky(O) is the product of the per-group survival factors. Deletions
+/// are not supported incrementally (a removal can split groups, which
+/// union-find cannot undo); rebuild for that.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/core/exact.h"
+#include "src/model/dataset.h"
+#include "src/model/preference_model.h"
+#include "src/model/types.h"
+#include "src/util/status.h"
+
+namespace skypref {
+
+class IncrementalSkylineProbability {
+ public:
+  /// \p target_values are O's attribute values; \p model must outlive
+  /// this object. \p group_options bound each per-group exact solve
+  /// (an AddCandidate whose merged group exceeds them fails with
+  /// ResourceExhausted and leaves the state unchanged).
+  IncrementalSkylineProbability(std::vector<ValueId> target_values,
+                                const PreferenceModel& model,
+                                ExactOptions group_options = {});
+
+  /// Current sky(O) over all candidates added so far (1.0 initially).
+  double probability() const;
+
+  /// Adds a rival object and returns the updated sky(O).
+  /// Fails on dimension mismatch, on a duplicate of O or of a previously
+  /// added candidate, or if the merged group's exact solve exceeds the
+  /// configured budget (state is then unchanged).
+  Result<double> AddCandidate(std::span<const ValueId> values);
+  Result<double> AddCandidate(std::initializer_list<ValueId> values) {
+    return AddCandidate(
+        std::span<const ValueId>(values.begin(), values.size()));
+  }
+
+  /// Candidates retained after absorption (absorbed ones are dropped).
+  std::size_t candidate_count() const { return live_candidates_; }
+
+  /// Current number of independence groups.
+  std::size_t group_count() const { return live_groups_; }
+
+  /// Exact solves performed so far (one per group-changing insertion).
+  std::uint64_t exact_solves() const { return exact_solves_; }
+
+ private:
+  struct Group {
+    std::vector<ObjectId> members;  // rows in data_, absorbed ones removed
+    double survival = 1.0;
+    bool merged_away = false;
+  };
+
+  std::size_t FindRoot(std::size_t slot) const;
+
+  const PreferenceModel& model_;
+  ExactOptions group_options_;
+  Dataset data_;  // row 0 = target, then one row per accepted candidate
+  std::vector<Group> groups_;
+  std::vector<std::size_t> parent_;  // group-slot union-find
+  // (dim, value) -> group slot, for values differing from the target's.
+  std::unordered_map<std::uint64_t, std::size_t> value_to_group_;
+  std::size_t live_candidates_ = 0;
+  std::size_t live_groups_ = 0;
+  std::uint64_t exact_solves_ = 0;
+};
+
+}  // namespace skypref
+
+#endif  // SKYPREF_CORE_INCREMENTAL_H_

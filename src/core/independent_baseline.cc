@@ -1,0 +1,41 @@
+#include "src/core/independent_baseline.h"
+
+#include <vector>
+
+#include "src/core/dominance.h"
+
+namespace skypref {
+
+Result<double> IndependentSkylineProbability(
+    const Dataset& data, ObjectId target, std::span<const ObjectId> candidates,
+    const PreferenceModel& model) {
+  if (target >= data.size()) {
+    return Status::OutOfRange("target object out of range");
+  }
+  double product = 1.0;
+  for (ObjectId id : candidates) {
+    if (id >= data.size()) {
+      return Status::OutOfRange("candidate object out of range");
+    }
+    if (id == target) {
+      return Status::InvalidArgument(
+          "candidate list must not contain the target object");
+    }
+    product *= 1.0 - DominanceProbability(data, id, target, model);
+    if (product == 0.0) break;
+  }
+  return product;
+}
+
+Result<double> IndependentSkylineProbability(const Dataset& data,
+                                             ObjectId target,
+                                             const PreferenceModel& model) {
+  std::vector<ObjectId> candidates;
+  candidates.reserve(data.size() > 0 ? data.size() - 1 : 0);
+  for (ObjectId id = 0; id < data.size(); ++id) {
+    if (id != target) candidates.push_back(id);
+  }
+  return IndependentSkylineProbability(data, target, candidates, model);
+}
+
+}  // namespace skypref

@@ -1,0 +1,40 @@
+#ifndef SKYPREF_CORE_INDEPENDENT_BASELINE_H_
+#define SKYPREF_CORE_INDEPENDENT_BASELINE_H_
+
+/// \file
+/// The independent-object-dominance baseline ("Sac", after Sacharidis
+/// et al., ICDE 2010) that the paper refutes.
+///
+/// Sac treats the dominance events as mutually independent and computes
+///
+///     sky_indep(O) = prod_i (1 - Pr(Qi < O)).
+///
+/// This is correct only when no two candidates share an attribute value
+/// that differs from the target's (precisely the condition of Theorem 4
+/// with singleton groups); in general it is wrong — the paper's Figure 1
+/// observation (sky(P1): correct 1/2 vs Sac 3/8) and Example 1 (3/16 vs
+/// 9/64) are reproduced as golden tests. The baseline exists here to be
+/// compared against, exactly as in the paper.
+
+#include <span>
+
+#include "src/model/dataset.h"
+#include "src/model/preference_model.h"
+#include "src/model/types.h"
+#include "src/util/status.h"
+
+namespace skypref {
+
+/// sky_indep(target) over the given candidates.
+Result<double> IndependentSkylineProbability(
+    const Dataset& data, ObjectId target, std::span<const ObjectId> candidates,
+    const PreferenceModel& model);
+
+/// Convenience wrapper: all objects but the target.
+Result<double> IndependentSkylineProbability(const Dataset& data,
+                                             ObjectId target,
+                                             const PreferenceModel& model);
+
+}  // namespace skypref
+
+#endif  // SKYPREF_CORE_INDEPENDENT_BASELINE_H_

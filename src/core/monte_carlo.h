@@ -1,0 +1,81 @@
+#ifndef SKYPREF_CORE_MONTE_CARLO_H_
+#define SKYPREF_CORE_MONTE_CARLO_H_
+
+/// \file
+/// Monte-Carlo estimation of the skyline probability (Algorithm 2, "Sam").
+///
+/// Each iteration samples one possible world of the uncertain preferences
+/// and checks whether the target is a skyline point in it; the fraction of
+/// successful worlds estimates sky(O). Per Theorem 2 (Hoeffding),
+/// m = ln(2/delta) / (2 epsilon^2) samples give an epsilon-approximation
+/// with confidence 1 - delta, for O(d n / eps^2 * ln(1/delta)) total time.
+///
+/// Two details make the estimator both correct and fast:
+///  * preference outcomes are sampled per VALUE PAIR, not per object, and
+///    memoized within a world — candidates sharing an attribute value see
+///    the same sampled orientation, which is precisely the dependence that
+///    the independent-dominance shortcut of Sacharidis et al. ignores;
+///  * lazy sampling with a sorted checking sequence: candidates are tested
+///    in descending order of Pr(Qi < O) so that non-skyline worlds are
+///    refuted after sampling as few preferences as possible.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/model/dataset.h"
+#include "src/model/preference_model.h"
+#include "src/model/types.h"
+#include "src/util/status.h"
+
+namespace skypref {
+
+struct MonteCarloOptions {
+  /// Target absolute error (Theorem 2).
+  double epsilon = 0.01;
+  /// Target failure probability (Theorem 2).
+  double delta = 0.01;
+  /// Explicit sample count; 0 derives the count from epsilon/delta via
+  /// Hoeffding. The paper's empirical studies use 3000 where the bound
+  /// would demand 26,492.
+  std::uint64_t samples = 0;
+  /// PRNG seed; a fixed seed makes runs exactly reproducible.
+  std::uint64_t seed = 0x5eed5eedULL;
+  /// Check candidates in descending order of dominance probability
+  /// (Algorithm 2 line 1). Disabled only by the ablation bench.
+  bool sort_by_dominance = true;
+  /// Sample preferences on demand and abandon the world at the first
+  /// dominating candidate. Disabled (= sample every relevant pair up
+  /// front) only by the ablation bench.
+  bool lazy = true;
+};
+
+struct MonteCarloResult {
+  /// Y / m.
+  double estimate = 0.0;
+  /// Worlds sampled (m).
+  std::uint64_t samples = 0;
+  /// Worlds in which the target was a skyline point (Y).
+  std::uint64_t skyline_worlds = 0;
+  /// Total preference-pair draws across all worlds; the lazy strategy's
+  /// win shows up here.
+  std::uint64_t pair_draws = 0;
+};
+
+/// Sample count demanded by Hoeffding for (epsilon, delta):
+/// ceil(ln(2/delta) / (2 epsilon^2)).
+std::uint64_t HoeffdingSampleSize(double epsilon, double delta);
+
+/// Estimates sky(target) against the given candidate set.
+Result<MonteCarloResult> MonteCarloSkylineProbability(
+    const Dataset& data, ObjectId target, std::span<const ObjectId> candidates,
+    const PreferenceModel& model, const MonteCarloOptions& options = {});
+
+/// Convenience wrapper: all objects but the target.
+Result<MonteCarloResult> MonteCarloSkylineProbability(
+    const Dataset& data, ObjectId target, const PreferenceModel& model,
+    const MonteCarloOptions& options = {});
+
+}  // namespace skypref
+
+#endif  // SKYPREF_CORE_MONTE_CARLO_H_

@@ -1,0 +1,166 @@
+#include "src/core/parallel.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/core/absorption.h"
+#include "src/core/exact.h"
+#include "src/core/partition.h"
+#include "src/util/hash.h"
+#include "src/util/random.h"
+
+namespace skypref {
+
+Result<double> ParallelExactSkylineProbability(const Dataset& data,
+                                               ObjectId target,
+                                               const PreferenceModel& model,
+                                               ThreadPool& pool,
+                                               const ExactOptions& options) {
+  SKYPREF_RETURN_IF_ERROR(data.Validate());
+  if (target >= data.size()) {
+    return Status::OutOfRange("target object out of range");
+  }
+  std::vector<ObjectId> candidates;
+  candidates.reserve(data.size() - 1);
+  for (ObjectId id = 0; id < data.size(); ++id) {
+    if (id != target) candidates.push_back(id);
+  }
+  candidates = AbsorbCandidates(data, target, candidates);
+  std::vector<std::vector<ObjectId>> groups =
+      PartitionCandidates(data, target, candidates);
+
+  std::vector<double> survival(groups.size(), 1.0);
+  std::vector<Status> statuses(groups.size());
+  DoubleOracle oracle(model);
+  pool.ParallelFor(groups.size(), [&](std::size_t g) {
+    auto result =
+        ExactSkylineProbability(data, target, groups[g], oracle, options);
+    if (result.ok()) {
+      survival[g] = result.value();
+    } else {
+      statuses[g] = result.status();
+    }
+  });
+  double product = 1.0;
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    SKYPREF_RETURN_IF_ERROR(statuses[g]);
+    product *= survival[g];
+  }
+  return product;
+}
+
+namespace {
+
+/// Splits `total` into `chunks` nearly-equal pieces; piece i gets
+/// total/chunks plus one of the remainder's units.
+std::uint64_t ChunkSize(std::uint64_t total, std::uint32_t chunks,
+                        std::uint32_t index) {
+  std::uint64_t base = total / chunks;
+  return base + (index < total % chunks ? 1 : 0);
+}
+
+}  // namespace
+
+Result<MonteCarloResult> ParallelMonteCarloSkylineProbability(
+    const Dataset& data, ObjectId target, const PreferenceModel& model,
+    ThreadPool& pool, const MonteCarloOptions& options,
+    const ParallelOptions& parallel) {
+  if (parallel.sample_chunks == 0) {
+    return Status::InvalidArgument("need at least one sample chunk");
+  }
+  std::uint64_t samples = options.samples != 0
+                              ? options.samples
+                              : HoeffdingSampleSize(options.epsilon,
+                                                    options.delta);
+  if (samples == 0) {
+    return Status::InvalidArgument(
+        "Monte Carlo needs samples > 0 (or valid epsilon/delta)");
+  }
+  const std::uint32_t chunks = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(parallel.sample_chunks, samples));
+
+  std::vector<MonteCarloResult> partial(chunks);
+  std::vector<Status> statuses(chunks);
+  pool.ParallelFor(chunks, [&](std::size_t c) {
+    MonteCarloOptions chunk_options = options;
+    chunk_options.samples =
+        ChunkSize(samples, chunks, static_cast<std::uint32_t>(c));
+    // Seed from the chunk index, not the thread: bit-reproducible for
+    // any thread count.
+    chunk_options.seed =
+        HashMix(options.seed ^ (0x9e3779b97f4a7c15ULL * (c + 1)));
+    auto result =
+        MonteCarloSkylineProbability(data, target, model, chunk_options);
+    if (result.ok()) {
+      partial[c] = result.value();
+    } else {
+      statuses[c] = result.status();
+    }
+  });
+
+  MonteCarloResult combined;
+  for (std::uint32_t c = 0; c < chunks; ++c) {
+    SKYPREF_RETURN_IF_ERROR(statuses[c]);
+    combined.samples += partial[c].samples;
+    combined.skyline_worlds += partial[c].skyline_worlds;
+    combined.pair_draws += partial[c].pair_draws;
+  }
+  combined.estimate = static_cast<double>(combined.skyline_worlds) /
+                      static_cast<double>(combined.samples);
+  return combined;
+}
+
+Result<AllWorldsResult> ParallelEstimateAllSkylineProbabilities(
+    const Dataset& data, const PreferenceModel& model, ThreadPool& pool,
+    const AllWorldsOptions& options, const ParallelOptions& parallel) {
+  if (parallel.sample_chunks == 0) {
+    return Status::InvalidArgument("need at least one sample chunk");
+  }
+  SKYPREF_RETURN_IF_ERROR(data.Validate());
+  const std::size_t n = data.size();
+  std::uint64_t samples =
+      options.samples != 0
+          ? options.samples
+          : AllWorldsSampleSize(options.epsilon, options.delta, n);
+  if (samples == 0) {
+    return Status::InvalidArgument(
+        "all-worlds estimation needs samples > 0 (or valid epsilon/delta)");
+  }
+  const std::uint32_t chunks = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(parallel.sample_chunks, samples));
+
+  // One master plan, cloned per chunk (the per-world memo tables must not
+  // be shared across concurrently sampled worlds).
+  SharedWorldSampler master(data, model);
+  std::vector<std::vector<std::uint64_t>> survived(
+      chunks, std::vector<std::uint64_t>(n, 0));
+  std::vector<std::uint64_t> draws(chunks, 0);
+  pool.ParallelFor(chunks, [&](std::size_t c) {
+    SharedWorldSampler sampler = master;  // value copy
+    Rng rng(HashMix(options.seed ^ (0xa24baed4963ee407ULL * (c + 1))));
+    std::uint64_t chunk_samples =
+        ChunkSize(samples, chunks, static_cast<std::uint32_t>(c));
+    for (std::uint64_t h = 0; h < chunk_samples; ++h) {
+      sampler.NextWorld();
+      for (ObjectId i = 0; i < n; ++i) {
+        if (sampler.Survives(i, rng, &draws[c])) ++survived[c][i];
+      }
+    }
+  });
+
+  AllWorldsResult result;
+  result.samples = samples;
+  result.estimates.assign(n, 0.0);
+  for (std::uint32_t c = 0; c < chunks; ++c) {
+    result.pair_draws += draws[c];
+    for (ObjectId i = 0; i < n; ++i) {
+      result.estimates[i] += static_cast<double>(survived[c][i]);
+    }
+  }
+  for (ObjectId i = 0; i < n; ++i) {
+    result.estimates[i] /= static_cast<double>(samples);
+  }
+  return result;
+}
+
+}  // namespace skypref

@@ -1,0 +1,59 @@
+#ifndef SKYPREF_CORE_PARALLEL_H_
+#define SKYPREF_CORE_PARALLEL_H_
+
+/// \file
+/// Thread-parallel variants of the heavy solvers.
+///
+/// Parallelism follows the algorithms' natural grain:
+///
+///  * Det+ — the independence groups of Theorem 4 are, by construction,
+///    independent subproblems; they solve concurrently and their
+///    survival factors multiply.
+///  * Sam — sampled worlds are i.i.d.; the m worlds split into a fixed
+///    number of chunks, each with a PRNG seeded from the CHUNK INDEX, so
+///    the estimate is bit-identical for every thread count (including a
+///    0-thread pool, which runs inline).
+///  * all-objects estimation — same chunking, with one SharedWorldSampler
+///    clone per chunk (worlds must stay internally consistent, so a
+///    chunk never shares its memo table with another).
+
+#include <cstdint>
+
+#include "src/core/all_worlds.h"
+#include "src/core/monte_carlo.h"
+#include "src/core/solver.h"
+#include "src/model/dataset.h"
+#include "src/model/preference_model.h"
+#include "src/util/status.h"
+#include "src/util/thread_pool.h"
+
+namespace skypref {
+
+struct ParallelOptions {
+  /// Worlds are split into this many independently-seeded chunks; the
+  /// result depends on the chunk count but NOT on the thread count.
+  std::uint32_t sample_chunks = 32;
+};
+
+/// Det+ with per-group parallel exact solves. Identical result to
+/// SkylineSolver::Exact with preprocessing (group results multiply in a
+/// fixed order).
+Result<double> ParallelExactSkylineProbability(
+    const Dataset& data, ObjectId target, const PreferenceModel& model,
+    ThreadPool& pool, const ExactOptions& options = {});
+
+/// Sam with chunked parallel world sampling. Deterministic per
+/// (options.seed, parallel.sample_chunks); thread-count independent.
+Result<MonteCarloResult> ParallelMonteCarloSkylineProbability(
+    const Dataset& data, ObjectId target, const PreferenceModel& model,
+    ThreadPool& pool, const MonteCarloOptions& options = {},
+    const ParallelOptions& parallel = {});
+
+/// All-objects estimation with chunked parallel world sampling.
+Result<AllWorldsResult> ParallelEstimateAllSkylineProbabilities(
+    const Dataset& data, const PreferenceModel& model, ThreadPool& pool,
+    const AllWorldsOptions& options = {}, const ParallelOptions& parallel = {});
+
+}  // namespace skypref
+
+#endif  // SKYPREF_CORE_PARALLEL_H_

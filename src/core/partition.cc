@@ -1,0 +1,42 @@
+#include "src/core/partition.h"
+
+#include <unordered_map>
+
+#include "src/util/hash.h"
+#include "src/util/union_find.h"
+
+namespace skypref {
+
+std::vector<std::vector<ObjectId>> PartitionCandidates(
+    const Dataset& data, ObjectId target,
+    std::span<const ObjectId> candidates) {
+  UnionFind sets(candidates.size());
+
+  // First candidate position seen per shared (dim, value); later users of
+  // the same value are unioned with it.
+  std::unordered_map<std::pair<DimensionId, ValueId>, std::size_t, PairHash>
+      first_user;
+  for (std::size_t pos = 0; pos < candidates.size(); ++pos) {
+    for (DimensionId j = 0; j < data.dimensions(); ++j) {
+      ValueId v = data.value(candidates[pos], j);
+      if (v == data.value(target, j)) continue;  // factor 1, never couples
+      auto [it, inserted] = first_user.try_emplace({j, v}, pos);
+      if (!inserted) sets.Union(it->second, pos);
+    }
+  }
+
+  std::vector<std::vector<ObjectId>> groups;
+  std::vector<std::size_t> group_of(candidates.size(),
+                                    static_cast<std::size_t>(-1));
+  for (std::size_t pos = 0; pos < candidates.size(); ++pos) {
+    std::size_t root = sets.Find(pos);
+    if (group_of[root] == static_cast<std::size_t>(-1)) {
+      group_of[root] = groups.size();
+      groups.emplace_back();
+    }
+    groups[group_of[root]].push_back(candidates[pos]);
+  }
+  return groups;
+}
+
+}  // namespace skypref

@@ -1,0 +1,37 @@
+#ifndef SKYPREF_CORE_PARTITION_H_
+#define SKYPREF_CORE_PARTITION_H_
+
+/// \file
+/// The "partition" preprocessing technique (Section 5, Theorem 4).
+///
+/// If the candidates can be split into groups such that no two candidates
+/// from different groups share an attribute value — other than values that
+/// equal the target's value on that dimension, which contribute the
+/// constant factor 1 — then the "no dominator in group t" events are
+/// mutually independent and
+///
+///     sky(O) = prod_t Pr(no candidate in S_t dominates O).
+///
+/// Each group is then solved independently (exactly or by sampling) and
+/// the results are multiplied, turning one 2^n computation into several
+/// 2^|S_t| ones. Grouping is computed by union-find over the candidates:
+/// two candidates are joined when they use the same (dimension, value)
+/// with value != target's value on that dimension.
+
+#include <span>
+#include <vector>
+
+#include "src/model/dataset.h"
+#include "src/model/types.h"
+
+namespace skypref {
+
+/// Groups candidates into the finest partition satisfying Theorem 4.
+/// Groups preserve input order internally and are ordered by their first
+/// member.
+std::vector<std::vector<ObjectId>> PartitionCandidates(
+    const Dataset& data, ObjectId target, std::span<const ObjectId> candidates);
+
+}  // namespace skypref
+
+#endif  // SKYPREF_CORE_PARTITION_H_

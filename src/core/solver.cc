@@ -1,0 +1,186 @@
+#include "src/core/solver.h"
+
+#include <algorithm>
+
+#include "src/core/absorption.h"
+#include "src/core/dominance.h"
+#include "src/core/partition.h"
+#include "src/util/random.h"
+
+namespace skypref {
+
+Result<SkylineSolver> SkylineSolver::Create(const Dataset& data,
+                                            const PreferenceModel& model) {
+  SKYPREF_RETURN_IF_ERROR(data.Validate());
+  return SkylineSolver(data, model);
+}
+
+std::vector<ObjectId> SkylineSolver::AllCandidates(ObjectId target) const {
+  std::vector<ObjectId> candidates;
+  candidates.reserve(data_->size() - 1);
+  for (ObjectId id = 0; id < data_->size(); ++id) {
+    if (id != target) candidates.push_back(id);
+  }
+  return candidates;
+}
+
+Result<double> SkylineSolver::Exact(ObjectId target,
+                                    const SolverOptions& options,
+                                    SolveStats* stats) const {
+  if (target >= data_->size()) {
+    return Status::OutOfRange("target object out of range");
+  }
+  std::vector<ObjectId> candidates = AllCandidates(target);
+  SolveStats local;
+  local.candidates = candidates.size();
+
+  DoubleOracle oracle(*model_);
+  double result = 1.0;
+  if (options.preprocess) {
+    candidates = AbsorbCandidates(*data_, target, candidates);
+    local.after_absorption = candidates.size();
+    std::vector<std::vector<ObjectId>> groups =
+        PartitionCandidates(*data_, target, candidates);
+    local.groups = groups.size();
+    for (const auto& group : groups) {
+      local.largest_group = std::max(local.largest_group, group.size());
+      ExactStats exact_stats;
+      SKYPREF_ASSIGN_OR_RETURN(
+          double group_prob,
+          ExactSkylineProbability(*data_, target, group, oracle, options.exact,
+                                  &exact_stats));
+      local.subsets_visited += exact_stats.subsets_visited;
+      result *= group_prob;
+    }
+  } else {
+    local.after_absorption = candidates.size();
+    local.groups = 1;
+    local.largest_group = candidates.size();
+    ExactStats exact_stats;
+    SKYPREF_ASSIGN_OR_RETURN(
+        result, ExactSkylineProbability(*data_, target, candidates, oracle,
+                                        options.exact, &exact_stats));
+    local.subsets_visited = exact_stats.subsets_visited;
+  }
+  if (stats != nullptr) *stats = local;
+  return result;
+}
+
+Result<double> SkylineSolver::MonteCarlo(ObjectId target,
+                                         const SolverOptions& options,
+                                         SolveStats* stats) const {
+  if (target >= data_->size()) {
+    return Status::OutOfRange("target object out of range");
+  }
+  std::vector<ObjectId> candidates = AllCandidates(target);
+  SolveStats local;
+  local.candidates = candidates.size();
+
+  if (!options.preprocess) {
+    local.after_absorption = candidates.size();
+    local.groups = 1;
+    local.largest_group = candidates.size();
+    SKYPREF_ASSIGN_OR_RETURN(
+        MonteCarloResult mc,
+        MonteCarloSkylineProbability(*data_, target, candidates, *model_,
+                                     options.monte_carlo));
+    local.samples_drawn = mc.samples;
+    local.pair_draws = mc.pair_draws;
+    if (stats != nullptr) *stats = local;
+    return mc.estimate;
+  }
+
+  candidates = AbsorbCandidates(*data_, target, candidates);
+  local.after_absorption = candidates.size();
+  std::vector<std::vector<ObjectId>> groups =
+      PartitionCandidates(*data_, target, candidates);
+  local.groups = groups.size();
+
+  // Singleton groups are exact for free: Pr(no dominator) = 1 - Pr(e).
+  std::vector<const std::vector<ObjectId>*> sampled_groups;
+  double result = 1.0;
+  for (const auto& group : groups) {
+    local.largest_group = std::max(local.largest_group, group.size());
+    if (group.size() == 1) {
+      result *= 1.0 - DominanceProbability(*data_, group[0], target, *model_);
+    } else {
+      sampled_groups.push_back(&group);
+    }
+  }
+
+  if (!sampled_groups.empty()) {
+    // Split the error budget across the sampled groups (see file comment).
+    MonteCarloOptions per_group = options.monte_carlo;
+    if (per_group.samples == 0) {
+      double share = static_cast<double>(sampled_groups.size());
+      per_group.epsilon = options.monte_carlo.epsilon / share;
+      per_group.delta = options.monte_carlo.delta / share;
+    }
+    Rng seeder(options.monte_carlo.seed);
+    for (const auto* group : sampled_groups) {
+      per_group.seed = seeder.Fork();
+      SKYPREF_ASSIGN_OR_RETURN(
+          MonteCarloResult mc,
+          MonteCarloSkylineProbability(*data_, target, *group, *model_,
+                                       per_group));
+      local.samples_drawn += mc.samples;
+      local.pair_draws += mc.pair_draws;
+      result *= mc.estimate;
+    }
+  }
+  if (stats != nullptr) *stats = local;
+  return result;
+}
+
+Result<double> SkylineSolver::Independent(ObjectId target) const {
+  if (target >= data_->size()) {
+    return Status::OutOfRange("target object out of range");
+  }
+  double product = 1.0;
+  for (ObjectId id = 0; id < data_->size(); ++id) {
+    if (id == target) continue;
+    product *= 1.0 - DominanceProbability(*data_, id, target, *model_);
+  }
+  return product;
+}
+
+Result<double> ExpectedSkylineCardinality(const Dataset& data,
+                                          const PreferenceModel& model,
+                                          const SolverOptions& options) {
+  SKYPREF_ASSIGN_OR_RETURN(SkylineSolver solver,
+                           SkylineSolver::Create(data, model));
+  double total = 0.0;
+  for (ObjectId target = 0; target < data.size(); ++target) {
+    SKYPREF_ASSIGN_OR_RETURN(double sky, solver.Exact(target, options));
+    total += sky;
+  }
+  return total;
+}
+
+Result<Rational> ExactSkylineProbabilityRational(
+    const Dataset& data, ObjectId target, const RationalPreferenceModel& model,
+    bool preprocess, const ExactOptions& options) {
+  if (target >= data.size()) {
+    return Status::OutOfRange("target object out of range");
+  }
+  std::vector<ObjectId> candidates;
+  candidates.reserve(data.size() - 1);
+  for (ObjectId id = 0; id < data.size(); ++id) {
+    if (id != target) candidates.push_back(id);
+  }
+  RationalOracle oracle(model);
+  if (!preprocess) {
+    return ExactSkylineProbability(data, target, candidates, oracle, options);
+  }
+  candidates = AbsorbCandidates(data, target, candidates);
+  Rational result(1);
+  for (const auto& group : PartitionCandidates(data, target, candidates)) {
+    SKYPREF_ASSIGN_OR_RETURN(
+        Rational group_prob,
+        ExactSkylineProbability(data, target, group, oracle, options));
+    result = result * group_prob;
+  }
+  return result;
+}
+
+}  // namespace skypref

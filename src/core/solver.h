@@ -1,0 +1,99 @@
+#ifndef SKYPREF_CORE_SOLVER_H_
+#define SKYPREF_CORE_SOLVER_H_
+
+/// \file
+/// The public facade: Det / Det+ / Sam / Sam+ (Table 2 of the paper).
+///
+/// SkylineSolver composes the building blocks: absorption and partition
+/// preprocessing (Section 5) in front of either the exact inclusion-
+/// exclusion solver (Algorithm 1) or the Monte-Carlo estimator
+/// (Algorithm 2). With preprocessing enabled the solver first drops
+/// absorbed candidates, then splits the rest into independent groups and
+/// multiplies the per-group results (Theorem 4).
+///
+/// Error budget under partitioning: if group survival probabilities
+/// p_t in [0,1] are each estimated within eps_t, the product is within
+/// sum_t eps_t (telescoping |prod a - prod b| <= sum |a_t - b_t|). Sam+
+/// therefore splits epsilon and delta evenly across the groups it
+/// actually samples; singleton groups are computed exactly for free.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/core/exact.h"
+#include "src/core/monte_carlo.h"
+#include "src/model/dataset.h"
+#include "src/model/preference_model.h"
+#include "src/model/types.h"
+#include "src/util/rational.h"
+#include "src/util/status.h"
+
+namespace skypref {
+
+struct SolverOptions {
+  /// Run absorption + partition first (the "+" algorithm variants).
+  bool preprocess = true;
+  ExactOptions exact;
+  MonteCarloOptions monte_carlo;
+};
+
+/// Diagnostics of one solve, for benches and the CLI.
+struct SolveStats {
+  std::size_t candidates = 0;         ///< before preprocessing
+  std::size_t after_absorption = 0;   ///< == candidates when preprocess off
+  std::size_t groups = 0;             ///< 1 when preprocess off
+  std::size_t largest_group = 0;
+  std::uint64_t subsets_visited = 0;  ///< exact solves
+  std::uint64_t samples_drawn = 0;    ///< Monte-Carlo solves
+  std::uint64_t pair_draws = 0;       ///< Monte-Carlo solves
+};
+
+class SkylineSolver {
+ public:
+  /// Validates the dataset (non-empty, no duplicate objects) and binds it
+  /// with the preference model. Both must outlive the solver.
+  static Result<SkylineSolver> Create(const Dataset& data,
+                                      const PreferenceModel& model);
+
+  /// Det / Det+: exact sky(target).
+  Result<double> Exact(ObjectId target, const SolverOptions& options = {},
+                       SolveStats* stats = nullptr) const;
+
+  /// Sam / Sam+: (epsilon, delta)-approximate sky(target).
+  Result<double> MonteCarlo(ObjectId target, const SolverOptions& options = {},
+                            SolveStats* stats = nullptr) const;
+
+  /// The independent-dominance baseline ("Sac"), for comparison only.
+  Result<double> Independent(ObjectId target) const;
+
+  const Dataset& data() const { return *data_; }
+  const PreferenceModel& model() const { return *model_; }
+
+ private:
+  SkylineSolver(const Dataset& data, const PreferenceModel& model)
+      : data_(&data), model_(&model) {}
+
+  std::vector<ObjectId> AllCandidates(ObjectId target) const;
+
+  const Dataset* data_;
+  const PreferenceModel* model_;
+};
+
+/// Sum of every object's exact skyline probability — the expected number
+/// of skyline objects under the uncertain preferences (by linearity of
+/// expectation). One Det+ solve per object; \p options bounds each.
+Result<double> ExpectedSkylineCardinality(const Dataset& data,
+                                          const PreferenceModel& model,
+                                          const SolverOptions& options = {});
+
+/// Exact sky(target) in rational arithmetic — the bit-exact reference used
+/// by the test suite. \p preprocess toggles absorption + partition, whose
+/// product recombination is also exact in this mode.
+Result<Rational> ExactSkylineProbabilityRational(
+    const Dataset& data, ObjectId target, const RationalPreferenceModel& model,
+    bool preprocess = false, const ExactOptions& options = {});
+
+}  // namespace skypref
+
+#endif  // SKYPREF_CORE_SOLVER_H_

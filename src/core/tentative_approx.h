@@ -1,0 +1,51 @@
+#ifndef SKYPREF_CORE_TENTATIVE_APPROX_H_
+#define SKYPREF_CORE_TENTATIVE_APPROX_H_
+
+/// \file
+/// The two tentative approximations the paper evaluates and rejects
+/// (Section 4, Figure 6). They are implemented faithfully so the bench
+/// can regenerate Figure 6 — i.e. demonstrate WHY the Monte-Carlo
+/// estimator is the right answer.
+///
+/// A1 — "important objects": run the exact inclusion-exclusion over only
+///      the t candidates with the highest dominance probability.
+/// A2 — "partial joint probabilities": evaluate Eq. 4 term by term in
+///      level order (all |I|=1 terms, then |I|=2, ...) and stop after a
+///      budget of computed joint probabilities; return the truncated
+///      alternating sum. The truncated sum is not even guaranteed to be
+///      a probability — Figure 6(b) shows errors above 1.
+
+#include <cstdint>
+#include <span>
+
+#include "src/model/dataset.h"
+#include "src/model/preference_model.h"
+#include "src/model/types.h"
+#include "src/util/status.h"
+
+namespace skypref {
+
+/// A1: exact sky(target) restricted to the \p top_t most threatening
+/// candidates (ties broken by candidate order).
+Result<double> ApproxTopObjects(const Dataset& data, ObjectId target,
+                                std::span<const ObjectId> candidates,
+                                const PreferenceModel& model,
+                                std::size_t top_t);
+
+struct PartialTermsResult {
+  /// The truncated inclusion-exclusion sum (may fall outside [0,1]).
+  double estimate = 0.0;
+  /// Joint probabilities actually computed.
+  std::uint64_t terms_computed = 0;
+  /// Highest subset size whose level was fully or partially evaluated.
+  std::size_t deepest_level = 0;
+};
+
+/// A2: Eq. 4 truncated after \p term_budget joint probabilities.
+Result<PartialTermsResult> ApproxPartialTerms(
+    const Dataset& data, ObjectId target, std::span<const ObjectId> candidates,
+    const PreferenceModel& model, std::uint64_t term_budget);
+
+}  // namespace skypref
+
+#endif  // SKYPREF_CORE_TENTATIVE_APPROX_H_

@@ -1,0 +1,73 @@
+#ifndef SKYPREF_CORE_TOPK_RACE_H_
+#define SKYPREF_CORE_TOPK_RACE_H_
+
+/// \file
+/// Racing algorithm for the top-k skyline-probability query.
+///
+/// The paper's conclusion proposes applying a generic top-k evaluation
+/// framework for uncertain databases (Re, Dalvi, Suciu, ICDE 2007) —
+/// whose core idea is to maintain probability INTERVALS per object,
+/// refine only while intervals overlap the top-k boundary, and stop as
+/// soon as the top-k set is determined, without computing any exact
+/// probability. This module realizes that plan on shared-world sampling:
+///
+///  * every object holds a Hoeffding confidence interval that narrows as
+///    worlds accumulate;
+///  * an object is settled OUT when at least k others have lower bounds
+///    above its upper bound, settled IN when fewer than k others have
+///    upper bounds above its lower bound;
+///  * settled objects stop being evaluated (their worlds no longer need
+///    to be checked), so the race focuses effort on the boundary.
+///
+/// With probability at least 1 - delta the returned set is the true
+/// top-k (ties within `epsilon_floor` may be resolved either way; the
+/// race cannot separate exact ties, so it stops and reports
+/// resolved = false once intervals are narrower than epsilon_floor).
+
+#include <cstdint>
+#include <vector>
+
+#include "src/model/dataset.h"
+#include "src/model/preference_model.h"
+#include "src/model/types.h"
+#include "src/util/status.h"
+
+namespace skypref {
+
+struct TopKRaceOptions {
+  double delta = 0.01;
+  /// Stop refining once every unsettled interval is narrower than this;
+  /// objects within epsilon_floor of the boundary are then declared
+  /// unresolvable ties and split by estimate.
+  double epsilon_floor = 0.005;
+  std::uint64_t seed = 0x70b9aceULL;
+  /// Worlds per refinement round.
+  std::uint64_t batch = 256;
+  /// Hard cap on total worlds (0 = derived from epsilon_floor/delta).
+  std::uint64_t max_worlds = 0;
+};
+
+struct TopKRaceResult {
+  /// The k selected objects, ordered by estimated probability descending.
+  std::vector<ObjectId> topk;
+  /// Final per-object estimates (for all objects).
+  std::vector<double> estimates;
+  /// Worlds sampled.
+  std::uint64_t worlds = 0;
+  /// Per-object worlds actually evaluated (settled objects stop early);
+  /// the race's saving shows as sum(evaluated) << n * worlds.
+  std::uint64_t evaluations = 0;
+  /// True when the top-k set was fully separated at confidence 1-delta;
+  /// false when epsilon_floor ties forced a cut by point estimate.
+  bool resolved = false;
+};
+
+/// Runs the race. Requires 1 <= k <= n.
+Result<TopKRaceResult> TopKSkylineRace(const Dataset& data,
+                                       const PreferenceModel& model,
+                                       std::size_t k,
+                                       const TopKRaceOptions& options = {});
+
+}  // namespace skypref
+
+#endif  // SKYPREF_CORE_TOPK_RACE_H_

@@ -1,0 +1,222 @@
+#include "src/io/binary_io.h"
+
+#include <cstring>
+
+#include "src/io/csv.h"
+
+namespace skypref {
+
+namespace {
+
+constexpr char kDatasetMagic[4] = {'S', 'K', 'Y', 'D'};
+constexpr char kPrefMagic[4] = {'S', 'K', 'Y', 'P'};
+constexpr std::uint32_t kVersion = 1;
+
+void PutU32(std::string* out, std::uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(std::string* out, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+  }
+}
+
+void PutF64(std::string* out, double value) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  PutU64(out, bits);
+}
+
+void PutVarint(std::string* out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<char>((value & 0x7f) | 0x80));
+    value >>= 7;
+  }
+  out->push_back(static_cast<char>(value));
+}
+
+/// Cursor over an input buffer with truncation checking.
+class Reader {
+ public:
+  explicit Reader(std::string_view bytes) : bytes_(bytes) {}
+
+  Status ExpectMagic(const char magic[4]) {
+    if (bytes_.size() - pos_ < 4 ||
+        std::memcmp(bytes_.data() + pos_, magic, 4) != 0) {
+      return Status::InvalidArgument("bad or missing magic header");
+    }
+    pos_ += 4;
+    return Status::OK();
+  }
+
+  Result<std::uint32_t> ReadU32() {
+    SKYPREF_RETURN_IF_ERROR(Need(4));
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      value |= static_cast<std::uint32_t>(
+                   static_cast<unsigned char>(bytes_[pos_ + static_cast<std::size_t>(i)]))
+               << (8 * i);
+    }
+    pos_ += 4;
+    return value;
+  }
+
+  Result<std::uint64_t> ReadU64() {
+    SKYPREF_RETURN_IF_ERROR(Need(8));
+    std::uint64_t value = 0;
+    for (int i = 0; i < 8; ++i) {
+      value |= static_cast<std::uint64_t>(
+                   static_cast<unsigned char>(bytes_[pos_ + static_cast<std::size_t>(i)]))
+               << (8 * i);
+    }
+    pos_ += 8;
+    return value;
+  }
+
+  Result<double> ReadF64() {
+    SKYPREF_ASSIGN_OR_RETURN(std::uint64_t bits, ReadU64());
+    double value;
+    std::memcpy(&value, &bits, sizeof(value));
+    return value;
+  }
+
+  Result<std::uint64_t> ReadVarint() {
+    std::uint64_t value = 0;
+    int shift = 0;
+    while (true) {
+      SKYPREF_RETURN_IF_ERROR(Need(1));
+      unsigned char byte = static_cast<unsigned char>(bytes_[pos_++]);
+      if (shift >= 63 && byte > 1) {
+        return Status::InvalidArgument("varint overflows 64 bits");
+      }
+      value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+      if ((byte & 0x80) == 0) return value;
+      shift += 7;
+    }
+  }
+
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+
+ private:
+  Status Need(std::size_t count) {
+    if (bytes_.size() - pos_ < count) {
+      return Status::InvalidArgument("truncated binary document");
+    }
+    return Status::OK();
+  }
+
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string DatasetToBinary(const Dataset& data) {
+  std::string out;
+  out.append(kDatasetMagic, 4);
+  PutU32(&out, kVersion);
+  PutU64(&out, data.dimensions());
+  PutU64(&out, data.size());
+  for (ObjectId row = 0; row < data.size(); ++row) {
+    for (DimensionId j = 0; j < data.dimensions(); ++j) {
+      PutVarint(&out, data.value(row, j));
+    }
+  }
+  return out;
+}
+
+Result<Dataset> DatasetFromBinary(std::string_view bytes) {
+  Reader reader(bytes);
+  SKYPREF_RETURN_IF_ERROR(reader.ExpectMagic(kDatasetMagic));
+  SKYPREF_ASSIGN_OR_RETURN(std::uint32_t version, reader.ReadU32());
+  if (version != kVersion) {
+    return Status::InvalidArgument("unsupported dataset format version " +
+                                   std::to_string(version));
+  }
+  SKYPREF_ASSIGN_OR_RETURN(std::uint64_t dims, reader.ReadU64());
+  SKYPREF_ASSIGN_OR_RETURN(std::uint64_t rows, reader.ReadU64());
+  if (dims == 0 || dims > (1u << 20)) {
+    return Status::InvalidArgument("implausible dimension count");
+  }
+  Dataset data(static_cast<std::size_t>(dims));
+  std::vector<ValueId> row(static_cast<std::size_t>(dims));
+  for (std::uint64_t r = 0; r < rows; ++r) {
+    for (std::uint64_t j = 0; j < dims; ++j) {
+      SKYPREF_ASSIGN_OR_RETURN(std::uint64_t cell, reader.ReadVarint());
+      if (cell > 0xffffffffULL) {
+        return Status::InvalidArgument("cell value exceeds ValueId range");
+      }
+      row[static_cast<std::size_t>(j)] = static_cast<ValueId>(cell);
+    }
+    SKYPREF_RETURN_IF_ERROR(data.Append(row));
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after dataset payload");
+  }
+  return data;
+}
+
+Status SaveDatasetBinary(const std::string& path, const Dataset& data) {
+  return WriteFile(path, DatasetToBinary(data));
+}
+
+Result<Dataset> LoadDatasetBinary(const std::string& path) {
+  SKYPREF_ASSIGN_OR_RETURN(std::string contents, ReadFile(path));
+  return DatasetFromBinary(contents);
+}
+
+std::string PreferencesToBinary(const Dataset& data,
+                                const PreferenceModel& model) {
+  std::string out;
+  out.append(kPrefMagic, 4);
+  PutU32(&out, kVersion);
+  std::uint64_t entries = 0;
+  for (DimensionId j = 0; j < data.dimensions(); ++j) {
+    ValueId bound = data.value_bound(j);
+    entries += static_cast<std::uint64_t>(bound) * (bound - 1) / 2;
+  }
+  PutU64(&out, entries);
+  for (DimensionId j = 0; j < data.dimensions(); ++j) {
+    ValueId bound = data.value_bound(j);
+    for (ValueId a = 0; a < bound; ++a) {
+      for (ValueId b = a + 1; b < bound; ++b) {
+        PrefPair pair = model.GetPair(j, a, b);
+        PutU32(&out, j);
+        PutU32(&out, a);
+        PutU32(&out, b);
+        PutF64(&out, pair.less);
+        PutF64(&out, pair.greater);
+      }
+    }
+  }
+  return out;
+}
+
+Result<TablePreferenceModel> PreferencesFromBinary(std::string_view bytes) {
+  Reader reader(bytes);
+  SKYPREF_RETURN_IF_ERROR(reader.ExpectMagic(kPrefMagic));
+  SKYPREF_ASSIGN_OR_RETURN(std::uint32_t version, reader.ReadU32());
+  if (version != kVersion) {
+    return Status::InvalidArgument("unsupported preference format version " +
+                                   std::to_string(version));
+  }
+  SKYPREF_ASSIGN_OR_RETURN(std::uint64_t entries, reader.ReadU64());
+  TablePreferenceModel model;
+  for (std::uint64_t e = 0; e < entries; ++e) {
+    SKYPREF_ASSIGN_OR_RETURN(std::uint32_t dim, reader.ReadU32());
+    SKYPREF_ASSIGN_OR_RETURN(std::uint32_t lo, reader.ReadU32());
+    SKYPREF_ASSIGN_OR_RETURN(std::uint32_t hi, reader.ReadU32());
+    SKYPREF_ASSIGN_OR_RETURN(double less, reader.ReadF64());
+    SKYPREF_ASSIGN_OR_RETURN(double greater, reader.ReadF64());
+    SKYPREF_RETURN_IF_ERROR(model.Set(dim, lo, hi, less, greater));
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after preference payload");
+  }
+  return model;
+}
+
+}  // namespace skypref

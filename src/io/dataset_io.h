@@ -1,0 +1,53 @@
+#ifndef SKYPREF_IO_DATASET_IO_H_
+#define SKYPREF_IO_DATASET_IO_H_
+
+/// \file
+/// Text formats for datasets and preference tables.
+///
+/// Dataset CSV: a header row with dimension names followed by one row per
+/// object; values are arbitrary strings interned into a Domain on load.
+///
+/// Preference CSV: header "dimension,value_a,value_b,prob_a_less,
+/// prob_b_less" followed by one row per stored pair, using the same
+/// dimension and value names as the dataset CSV.
+
+#include <string>
+
+#include "src/model/dataset.h"
+#include "src/model/domain.h"
+#include "src/model/preference_model.h"
+#include "src/util/status.h"
+
+namespace skypref {
+
+struct LoadedDataset {
+  Dataset dataset;
+  Domain domain;
+
+  LoadedDataset() : dataset(1), domain(std::size_t{1}) {}
+};
+
+/// Parses a dataset CSV document.
+Result<LoadedDataset> DatasetFromCsv(std::string_view document);
+
+/// Serializes a dataset with its domain back to CSV.
+std::string DatasetToCsv(const Dataset& data, const Domain& domain);
+
+/// Loads a dataset CSV from disk.
+Result<LoadedDataset> LoadDatasetFile(const std::string& path);
+
+/// Writes a dataset CSV to disk.
+Status SaveDatasetFile(const std::string& path, const Dataset& data,
+                       const Domain& domain);
+
+/// Parses a preference CSV against the names in \p domain.
+Result<TablePreferenceModel> PreferencesFromCsv(std::string_view document,
+                                                const Domain& domain);
+
+/// Serializes all pairs of the dataset's value universe from \p model.
+std::string PreferencesToCsv(const Dataset& data, const Domain& domain,
+                             const PreferenceModel& model);
+
+}  // namespace skypref
+
+#endif  // SKYPREF_IO_DATASET_IO_H_

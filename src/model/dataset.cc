@@ -1,0 +1,68 @@
+#include "src/model/dataset.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/util/hash.h"
+
+namespace skypref {
+
+Status Dataset::Append(std::span<const ValueId> values) {
+  if (values.size() != dimensions_) {
+    return Status::InvalidArgument(
+        "object has " + std::to_string(values.size()) + " values, expected " +
+        std::to_string(dimensions_));
+  }
+  cells_.insert(cells_.end(), values.begin(), values.end());
+  ++rows_;
+  return Status::OK();
+}
+
+ValueId Dataset::value_bound(DimensionId dim) const {
+  ValueId bound = 0;
+  for (std::size_t row = 0; row < rows_; ++row) {
+    bound = std::max(bound, static_cast<ValueId>(value(row, dim) + 1));
+  }
+  return bound;
+}
+
+bool Dataset::SameObject(ObjectId a, ObjectId b) const {
+  return std::equal(cells_.begin() + static_cast<std::ptrdiff_t>(a * dimensions_),
+                    cells_.begin() + static_cast<std::ptrdiff_t>((a + 1) * dimensions_),
+                    cells_.begin() + static_cast<std::ptrdiff_t>(b * dimensions_));
+}
+
+Status Dataset::Validate() const {
+  if (dimensions_ == 0) {
+    return Status::FailedPrecondition("dataset has zero dimensions");
+  }
+  if (rows_ == 0) {
+    return Status::FailedPrecondition("dataset is empty");
+  }
+  struct RowHash {
+    const Dataset* data;
+    std::size_t operator()(ObjectId row) const {
+      std::size_t h = 0x811c9dc5;
+      for (ValueId v : data->object(row)) h = HashCombine(h, v);
+      return h;
+    }
+  };
+  struct RowEq {
+    const Dataset* data;
+    bool operator()(ObjectId a, ObjectId b) const {
+      return data->SameObject(a, b);
+    }
+  };
+  std::unordered_set<ObjectId, RowHash, RowEq> seen(
+      rows_ * 2, RowHash{this}, RowEq{this});
+  for (ObjectId row = 0; row < rows_; ++row) {
+    if (!seen.insert(row).second) {
+      return Status::FailedPrecondition(
+          "duplicate object at row " + std::to_string(row) +
+          " (the model assumes no duplicate objects)");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace skypref

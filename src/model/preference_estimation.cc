@@ -1,0 +1,73 @@
+#include "src/model/preference_estimation.h"
+
+#include <algorithm>
+
+namespace skypref {
+
+VoteAggregator::VoteAggregator(double smoothing)
+    : smoothing_(smoothing < 0.0 ? 0.0 : smoothing) {}
+
+Status VoteAggregator::AddVote(DimensionId dim, ValueId first, ValueId second,
+                               VoteOutcome outcome) {
+  if (first == second) {
+    return Status::InvalidArgument(
+        "votes must compare two distinct values, got value " +
+        std::to_string(first) + " twice");
+  }
+  bool swapped = first > second;
+  Key key{dim, swapped ? second : first, swapped ? first : second};
+  Tally& tally = counts_[key];
+  switch (outcome) {
+    case VoteOutcome::kFirstPreferred:
+      (swapped ? tally.hi_wins : tally.lo_wins) += 1;
+      break;
+    case VoteOutcome::kSecondPreferred:
+      (swapped ? tally.lo_wins : tally.hi_wins) += 1;
+      break;
+    case VoteOutcome::kIncomparable:
+      tally.incomparable += 1;
+      break;
+  }
+  return Status::OK();
+}
+
+Status VoteAggregator::AddVotes(DimensionId dim, ValueId first, ValueId second,
+                                std::uint64_t wins, std::uint64_t losses,
+                                std::uint64_t incomparable) {
+  if (first == second) {
+    return Status::InvalidArgument("votes must compare two distinct values");
+  }
+  bool swapped = first > second;
+  Key key{dim, swapped ? second : first, swapped ? first : second};
+  Tally& tally = counts_[key];
+  tally.lo_wins += swapped ? losses : wins;
+  tally.hi_wins += swapped ? wins : losses;
+  tally.incomparable += incomparable;
+  return Status::OK();
+}
+
+std::uint64_t VoteAggregator::VoteCount(DimensionId dim, ValueId a,
+                                        ValueId b) const {
+  if (a > b) std::swap(a, b);
+  auto it = counts_.find(Key{dim, a, b});
+  if (it == counts_.end()) return 0;
+  return it->second.lo_wins + it->second.hi_wins + it->second.incomparable;
+}
+
+Result<TablePreferenceModel> VoteAggregator::BuildModel(
+    PrefPair default_pair) const {
+  SKYPREF_RETURN_IF_ERROR(default_pair.Validate());
+  TablePreferenceModel model(default_pair);
+  for (const auto& [key, tally] : counts_) {
+    double total = static_cast<double>(tally.lo_wins + tally.hi_wins +
+                                       tally.incomparable) +
+                   3.0 * smoothing_;
+    if (total == 0.0) continue;  // smoothing 0 and no votes: keep default
+    double less = (static_cast<double>(tally.lo_wins) + smoothing_) / total;
+    double greater = (static_cast<double>(tally.hi_wins) + smoothing_) / total;
+    SKYPREF_RETURN_IF_ERROR(model.Set(key.dim, key.lo, key.hi, less, greater));
+  }
+  return model;
+}
+
+}  // namespace skypref

@@ -1,0 +1,95 @@
+#ifndef SKYPREF_MODEL_PREFERENCE_ESTIMATION_H_
+#define SKYPREF_MODEL_PREFERENCE_ESTIMATION_H_
+
+/// \file
+/// Estimating the uncertain-preference model from observed comparisons.
+///
+/// The paper grounds its probabilistic preference model in fuzzy /
+/// probabilistic voting (Section 1): Pr(a < b) is the fraction of the
+/// population preferring a over b. In practice that fraction is
+/// estimated from survey or click data. This module turns a stream of
+/// pairwise verdicts — "this user preferred a", "preferred b", or
+/// "could not compare" — into a TablePreferenceModel:
+///
+///     Pr(a < b) = (#a-wins + alpha) / (#votes + 3 alpha)
+///
+/// with additive (Laplace) smoothing alpha shared by the three outcomes,
+/// so unseen pairs degrade gracefully toward (1/3, 1/3, 1/3-incomparable)
+/// and the simplex constraint Pr(a<b) + Pr(b<a) <= 1 holds by
+/// construction.
+
+#include <cstdint>
+
+#include "src/model/preference_model.h"
+#include "src/model/types.h"
+#include "src/util/hash.h"
+#include "src/util/status.h"
+
+namespace skypref {
+
+/// Outcome of one observed comparison between two values.
+enum class VoteOutcome : std::uint8_t {
+  kFirstPreferred,
+  kSecondPreferred,
+  kIncomparable,
+};
+
+/// Accumulates pairwise votes and materializes preference models.
+class VoteAggregator {
+ public:
+  /// \p smoothing is the Laplace alpha added to each of the three
+  /// outcome counts; must be non-negative. Zero means raw frequencies
+  /// (unseen pairs then fall back to the model default).
+  explicit VoteAggregator(double smoothing = 1.0);
+
+  /// Records one vote on (first, second) of dimension \p dim.
+  /// Fails if first == second.
+  Status AddVote(DimensionId dim, ValueId first, ValueId second,
+                 VoteOutcome outcome);
+
+  /// Convenience: \p wins votes for first, \p losses for second,
+  /// \p incomparable for neither.
+  Status AddVotes(DimensionId dim, ValueId first, ValueId second,
+                  std::uint64_t wins, std::uint64_t losses,
+                  std::uint64_t incomparable = 0);
+
+  /// Total votes recorded for the pair (0 if never seen).
+  std::uint64_t VoteCount(DimensionId dim, ValueId a, ValueId b) const;
+
+  /// Number of distinct pairs with at least one vote.
+  std::size_t pair_count() const { return counts_.size(); }
+
+  /// Builds the smoothed preference model. Pairs with no votes are not
+  /// materialized and resolve to \p default_pair.
+  Result<TablePreferenceModel> BuildModel(
+      PrefPair default_pair = PrefPair{0.5, 0.5}) const;
+
+ private:
+  struct Key {
+    DimensionId dim;
+    ValueId lo;
+    ValueId hi;
+    bool operator==(const Key& o) const {
+      return dim == o.dim && lo == o.lo && hi == o.hi;
+    }
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      std::size_t h = HashCombine(std::size_t{0x9e37}, k.dim);
+      h = HashCombine(h, k.lo);
+      return HashCombine(h, k.hi);
+    }
+  };
+  struct Tally {
+    std::uint64_t lo_wins = 0;
+    std::uint64_t hi_wins = 0;
+    std::uint64_t incomparable = 0;
+  };
+
+  double smoothing_;
+  std::unordered_map<Key, Tally, KeyHash> counts_;
+};
+
+}  // namespace skypref
+
+#endif  // SKYPREF_MODEL_PREFERENCE_ESTIMATION_H_

@@ -1,0 +1,116 @@
+#include "src/model/preference_generator.h"
+
+#include <algorithm>
+
+#include "src/util/random.h"
+
+namespace skypref {
+
+namespace {
+
+/// Invokes fn(dim, a, b) for every unordered pair a < b of values in the
+/// dataset's per-dimension value universe.
+template <typename Fn>
+Status ForEachValuePair(const Dataset& data, Fn fn) {
+  for (DimensionId j = 0; j < data.dimensions(); ++j) {
+    ValueId bound = data.value_bound(j);
+    for (ValueId a = 0; a < bound; ++a) {
+      for (ValueId b = a + 1; b < bound; ++b) {
+        SKYPREF_RETURN_IF_ERROR(fn(j, a, b));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status GeneratePreferences(const Dataset& data,
+                           const PreferenceGenOptions& options,
+                           TablePreferenceModel* model) {
+  if (model == nullptr) {
+    return Status::InvalidArgument("null preference model");
+  }
+  if (options.bias < 0.0 || options.bias > 1.0 || options.jitter < 0.0) {
+    return Status::InvalidArgument("bias must be in [0,1], jitter >= 0");
+  }
+  Rng rng(options.seed);
+  using Style = PreferenceGenOptions::Style;
+  return ForEachValuePair(data, [&](DimensionId j, ValueId a, ValueId b) {
+    double less = 0.5;
+    double greater = 0.5;
+    switch (options.style) {
+      case Style::kTotalUniform:
+        less = rng.NextDouble();
+        greater = 1.0 - less;
+        break;
+      case Style::kSimplexUniform: {
+        double u = rng.NextDouble();
+        double v = rng.NextDouble();
+        if (u + v > 1.0) {
+          u = 1.0 - u;
+          v = 1.0 - v;
+        }
+        less = u;
+        greater = v;
+        break;
+      }
+      case Style::kUnanimousHalf:
+        break;
+      case Style::kCorrelated:
+      case Style::kAntiCorrelated: {
+        double p = options.bias +
+                   options.jitter * (2.0 * rng.NextDouble() - 1.0);
+        p = std::clamp(p, 0.0, 1.0);
+        bool ascending = options.style == Style::kCorrelated || j % 2 == 0;
+        // `ascending` favours the smaller ValueId (a < b here).
+        less = ascending ? p : 1.0 - p;
+        greater = 1.0 - less;
+        break;
+      }
+    }
+    return model->Set(j, a, b, less, greater);
+  });
+}
+
+Status GenerateRationalPreferences(const Dataset& data, std::uint64_t seed,
+                                   unsigned denominator,
+                                   RationalPreferenceModel* model) {
+  if (model == nullptr) {
+    return Status::InvalidArgument("null preference model");
+  }
+  if (denominator == 0) {
+    return Status::InvalidArgument("denominator must be positive");
+  }
+  Rng rng(seed);
+  const BigInt den(static_cast<std::int64_t>(denominator));
+  return ForEachValuePair(data, [&](DimensionId j, ValueId a, ValueId b) {
+    std::int64_t k = rng.NextInt(0, static_cast<std::int64_t>(denominator));
+    Rational less(BigInt(k), den);
+    Rational greater = Rational(1) - less;
+    return model->Set(j, a, b, less, greater);
+  });
+}
+
+Status GenerateRationalSimplexPreferences(const Dataset& data,
+                                          std::uint64_t seed,
+                                          unsigned denominator,
+                                          RationalPreferenceModel* model) {
+  if (model == nullptr) {
+    return Status::InvalidArgument("null preference model");
+  }
+  if (denominator == 0) {
+    return Status::InvalidArgument("denominator must be positive");
+  }
+  Rng rng(seed);
+  const BigInt den(static_cast<std::int64_t>(denominator));
+  return ForEachValuePair(data, [&](DimensionId j, ValueId a, ValueId b) {
+    std::int64_t k = rng.NextInt(0, static_cast<std::int64_t>(denominator));
+    std::int64_t l =
+        rng.NextInt(0, static_cast<std::int64_t>(denominator) - k);
+    return model->Set(j, a, b, Rational(BigInt(k), den),
+                      Rational(BigInt(l), den));
+  });
+}
+
+}  // namespace skypref

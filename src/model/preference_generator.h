@@ -1,0 +1,72 @@
+#ifndef SKYPREF_MODEL_PREFERENCE_GENERATOR_H_
+#define SKYPREF_MODEL_PREFERENCE_GENERATOR_H_
+
+/// \file
+/// Generators that materialize preference tables for a dataset's value
+/// universe (every pair of values occurring on each dimension).
+///
+/// For small and medium instances the experiments materialize explicit
+/// TablePreferenceModels; very large value universes use the O(1)-memory
+/// HashedPreferenceModel instead (see preference_model.h). The correlated
+/// and anti-correlated styles realize the paper's Figure 8 point that,
+/// with uncertain preferences, correlation is a property of the
+/// PREFERENCES, not the data: the same block-zipf dataset becomes
+/// correlated or anti-correlated depending on how value preferences align
+/// across dimensions.
+
+#include <cstdint>
+
+#include "src/model/dataset.h"
+#include "src/model/preference_model.h"
+#include "src/util/status.h"
+
+namespace skypref {
+
+struct PreferenceGenOptions {
+  enum class Style {
+    /// Pr(a<b) ~ U[0,1], Pr(b<a) = 1 - Pr(a<b) (the paper's default).
+    kTotalUniform,
+    /// (Pr(a<b), Pr(b<a)) uniform on the simplex p + q <= 1.
+    kSimplexUniform,
+    /// Every pair (1/2, 1/2).
+    kUnanimousHalf,
+    /// All dimensions favour ascending ValueId order with probability
+    /// `bias` — low ids tend to win everywhere, so objects good in one
+    /// dimension tend to be good in all (correlated, Figure 8a).
+    kCorrelated,
+    /// Even dimensions favour ascending order, odd dimensions descending
+    /// (anti-correlated, Figure 8b).
+    kAntiCorrelated,
+  };
+
+  Style style = Style::kTotalUniform;
+  std::uint64_t seed = 1;
+  /// For the correlated styles: mean probability that the favoured
+  /// orientation wins; jittered by +-jitter.
+  double bias = 0.9;
+  double jitter = 0.05;
+};
+
+/// Fills \p model with a pair for every two distinct values co-occurring
+/// on each dimension of \p data (value universe = [0, value_bound(dim))).
+Status GeneratePreferences(const Dataset& data,
+                           const PreferenceGenOptions& options,
+                           TablePreferenceModel* model);
+
+/// Fills \p model with exact random rationals: Pr(a<b) = k/denominator
+/// with k uniform in {0,...,denominator}, Pr(b<a) = 1 - Pr(a<b).
+/// Powers the bit-exact property tests.
+Status GenerateRationalPreferences(const Dataset& data, std::uint64_t seed,
+                                   unsigned denominator,
+                                   RationalPreferenceModel* model);
+
+/// Like GenerateRationalPreferences but drawing (p, q) uniformly from the
+/// grid points of the simplex p + q <= 1, so pairs can be incomparable.
+Status GenerateRationalSimplexPreferences(const Dataset& data,
+                                          std::uint64_t seed,
+                                          unsigned denominator,
+                                          RationalPreferenceModel* model);
+
+}  // namespace skypref
+
+#endif  // SKYPREF_MODEL_PREFERENCE_GENERATOR_H_

@@ -1,0 +1,157 @@
+#include "src/model/preference_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace skypref {
+
+namespace {
+constexpr double kProbTolerance = 1e-9;
+
+Status ValidateDistinct(ValueId a, ValueId b) {
+  if (a == b) {
+    return Status::InvalidArgument(
+        "preference pair requires two distinct values, got value " +
+        std::to_string(a) + " twice");
+  }
+  return Status::OK();
+}
+}  // namespace
+
+Status PrefPair::Validate() const {
+  if (!std::isfinite(less) || !std::isfinite(greater)) {
+    return Status::InvalidArgument(
+        "preference probabilities must be finite");
+  }
+  if (less < 0.0 || greater < 0.0 || less > 1.0 || greater > 1.0) {
+    return Status::InvalidArgument(
+        "preference probabilities must lie in [0,1], got (" +
+        std::to_string(less) + ", " + std::to_string(greater) + ")");
+  }
+  if (less + greater > 1.0 + kProbTolerance) {
+    return Status::InvalidArgument(
+        "Pr(a<b) + Pr(b<a) must be at most 1, got " +
+        std::to_string(less + greater));
+  }
+  return Status::OK();
+}
+
+Status TablePreferenceModel::Set(DimensionId dim, ValueId a, ValueId b,
+                                 double less, double greater) {
+  SKYPREF_RETURN_IF_ERROR(ValidateDistinct(a, b));
+  PrefPair pair{less, greater};
+  SKYPREF_RETURN_IF_ERROR(pair.Validate());
+  if (a > b) {
+    std::swap(a, b);
+    pair = pair.Swapped();
+  }
+  table_[Key{dim, a, b}] = pair;
+  return Status::OK();
+}
+
+bool TablePreferenceModel::Contains(DimensionId dim, ValueId a,
+                                    ValueId b) const {
+  if (a > b) std::swap(a, b);
+  return table_.find(Key{dim, a, b}) != table_.end();
+}
+
+PrefPair TablePreferenceModel::GetPair(DimensionId dim, ValueId a,
+                                       ValueId b) const {
+  bool swapped = a > b;
+  if (swapped) std::swap(a, b);
+  auto it = table_.find(Key{dim, a, b});
+  PrefPair pair = it == table_.end() ? default_pair_ : it->second;
+  return swapped ? pair.Swapped() : pair;
+}
+
+std::uint64_t HashedPreferenceModel::PairBits(DimensionId dim, ValueId lo,
+                                              ValueId hi,
+                                              std::uint64_t salt) const {
+  std::uint64_t h = seed_ ^ (salt * 0x9e3779b97f4a7c15ULL);
+  h = HashMix(h ^ (static_cast<std::uint64_t>(dim) << 1 | 1));
+  h = HashMix(h ^ (static_cast<std::uint64_t>(lo) << 32 |
+                   static_cast<std::uint64_t>(hi)));
+  return h;
+}
+
+PrefPair HashedPreferenceModel::GetPair(DimensionId dim, ValueId a,
+                                        ValueId b) const {
+  bool swapped = a > b;
+  ValueId lo = swapped ? b : a;
+  ValueId hi = swapped ? a : b;
+  auto to_unit = [](std::uint64_t bits) {
+    return static_cast<double>(bits >> 11) * 0x1.0p-53;
+  };
+  PrefPair pair;
+  switch (style_) {
+    case Style::kTotalUniform: {
+      double p = to_unit(PairBits(dim, lo, hi, 0x1));
+      pair = PrefPair{p, 1.0 - p};
+      break;
+    }
+    case Style::kSimplexUniform: {
+      // (u, v) uniform on the triangle p + q <= 1 via reflection.
+      double u = to_unit(PairBits(dim, lo, hi, 0x2));
+      double v = to_unit(PairBits(dim, lo, hi, 0x3));
+      if (u + v > 1.0) {
+        u = 1.0 - u;
+        v = 1.0 - v;
+      }
+      pair = PrefPair{u, v};
+      break;
+    }
+    case Style::kUnanimousHalf:
+      pair = PrefPair{0.5, 0.5};
+      break;
+    case Style::kCertainOrder: {
+      // Rank values by a per-dimension hash; ties cannot occur because the
+      // rank is (hash, id) lexicographically.
+      std::uint64_t rank_lo = HashMix(seed_ ^ HashMix(
+          (static_cast<std::uint64_t>(dim) << 32) | lo));
+      std::uint64_t rank_hi = HashMix(seed_ ^ HashMix(
+          (static_cast<std::uint64_t>(dim) << 32) | hi));
+      bool lo_wins = rank_lo < rank_hi || (rank_lo == rank_hi && lo < hi);
+      pair = lo_wins ? PrefPair{1.0, 0.0} : PrefPair{0.0, 1.0};
+      break;
+    }
+  }
+  return swapped ? pair.Swapped() : pair;
+}
+
+Status RationalPreferenceModel::Set(DimensionId dim, ValueId a, ValueId b,
+                                    Rational less, Rational greater) {
+  SKYPREF_RETURN_IF_ERROR(ValidateDistinct(a, b));
+  const Rational zero(0);
+  const Rational one(1);
+  if (less < zero || greater < zero || less + greater > one) {
+    return Status::InvalidArgument(
+        "rational preference pair out of range: (" + less.ToString() + ", " +
+        greater.ToString() + ")");
+  }
+  if (a > b) {
+    std::swap(a, b);
+    std::swap(less, greater);
+  }
+  table_[Key{dim, a, b}] = RationalPrefPair{std::move(less), std::move(greater)};
+  return Status::OK();
+}
+
+RationalPrefPair RationalPreferenceModel::GetRational(DimensionId dim,
+                                                      ValueId a,
+                                                      ValueId b) const {
+  bool swapped = a > b;
+  if (swapped) std::swap(a, b);
+  auto it = table_.find(Key{dim, a, b});
+  RationalPrefPair pair = it == table_.end() ? default_pair_ : it->second;
+  if (swapped) std::swap(pair.less, pair.greater);
+  return pair;
+}
+
+PrefPair RationalPreferenceModel::GetPair(DimensionId dim, ValueId a,
+                                          ValueId b) const {
+  RationalPrefPair pair = GetRational(dim, a, b);
+  return PrefPair{pair.less.ToDouble(), pair.greater.ToDouble()};
+}
+
+}  // namespace skypref

@@ -1,0 +1,215 @@
+#ifndef SKYPREF_MODEL_PREFERENCE_MODEL_H_
+#define SKYPREF_MODEL_PREFERENCE_MODEL_H_
+
+/// \file
+/// Uncertain preferences between attribute values (Section 2 of the paper).
+///
+/// For two distinct values a, b of the same dimension the model stores a
+/// pair of probabilities
+///
+///     Pr(a < b) + Pr(b < a) <= 1
+///
+/// where "<" reads "is preferred to" and the slack 1 - Pr(a<b) - Pr(b<a)
+/// is the probability that the two values are incomparable. A value ties
+/// with itself: Pr(v <= v) = 1. Setting each pair to {0,1} or {1,0}
+/// degenerates the model to classical certain preferences.
+///
+/// Three implementations are provided:
+///  * TablePreferenceModel    - explicit per-pair storage (tests, small
+///                              instances, loaded files);
+///  * HashedPreferenceModel   - O(1)-memory implicit model: the pair for
+///                              (dim, a, b) is derived deterministically
+///                              from a seed, which is how the evaluation
+///                              scales to datasets whose dimensions carry
+///                              tens of thousands of distinct values;
+///  * RationalPreferenceModel - exact rational probabilities, used by the
+///                              bit-exact correctness oracles.
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+
+#include "src/model/types.h"
+#include "src/util/hash.h"
+#include "src/util/rational.h"
+#include "src/util/status.h"
+
+namespace skypref {
+
+/// Probabilities of the two orientations of one value pair.
+struct PrefPair {
+  double less = 0.5;     ///< Pr(a < b)
+  double greater = 0.5;  ///< Pr(b < a)
+
+  /// Probability that the two values are incomparable.
+  double incomparable() const { return 1.0 - less - greater; }
+
+  /// The same pair seen from the opposite orientation.
+  PrefPair Swapped() const { return PrefPair{greater, less}; }
+
+  /// OK iff both entries are in [0,1] and they sum to at most 1 (within a
+  /// small tolerance for values that went through decimal text).
+  Status Validate() const;
+};
+
+/// Abstract source of uncertain preferences.
+class PreferenceModel {
+ public:
+  virtual ~PreferenceModel() = default;
+
+  /// The pair (Pr(a<b), Pr(b<a)) on \p dim. Requires a != b.
+  virtual PrefPair GetPair(DimensionId dim, ValueId a, ValueId b) const = 0;
+
+  /// Pr(a < b); 0 when a == b (a value is never strictly preferred to
+  /// itself).
+  double Less(DimensionId dim, ValueId a, ValueId b) const {
+    if (a == b) return 0.0;
+    return GetPair(dim, a, b).less;
+  }
+
+  /// Pr(a <= b): 1 when a == b, else Pr(a < b). Distinct values are never
+  /// "equal", so preferred-or-equal collapses to strictly-preferred.
+  double LessEq(DimensionId dim, ValueId a, ValueId b) const {
+    if (a == b) return 1.0;
+    return GetPair(dim, a, b).less;
+  }
+};
+
+/// Explicit preference storage with validation.
+class TablePreferenceModel : public PreferenceModel {
+ public:
+  /// \p default_pair is returned for pairs never Set(); the conventional
+  /// default (0.5, 0.5) means "population evenly split, never
+  /// incomparable", the setting used by the paper's examples.
+  explicit TablePreferenceModel(PrefPair default_pair = PrefPair{0.5, 0.5})
+      : default_pair_(default_pair) {}
+
+  /// Records Pr(a<b) = \p less and Pr(b<a) = \p greater. Either
+  /// orientation may be set; the other is implied. Re-setting a pair
+  /// overwrites it. Fails on invalid probabilities or a == b.
+  Status Set(DimensionId dim, ValueId a, ValueId b, double less,
+             double greater);
+
+  /// True iff the pair was explicitly Set().
+  bool Contains(DimensionId dim, ValueId a, ValueId b) const;
+
+  /// Number of explicitly stored pairs.
+  std::size_t stored_pairs() const { return table_.size(); }
+
+  PrefPair GetPair(DimensionId dim, ValueId a, ValueId b) const override;
+
+ private:
+  struct Key {
+    DimensionId dim;
+    ValueId lo;
+    ValueId hi;
+    bool operator==(const Key& o) const {
+      return dim == o.dim && lo == o.lo && hi == o.hi;
+    }
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      std::size_t h = HashCombine(std::size_t{0x2545f491}, k.dim);
+      h = HashCombine(h, k.lo);
+      return HashCombine(h, k.hi);
+    }
+  };
+
+  PrefPair default_pair_;
+  std::unordered_map<Key, PrefPair, KeyHash> table_;  // keyed lo < hi
+};
+
+/// Implicit preference model: the pair for (dim, a, b) is a deterministic
+/// pseudo-random function of (seed, dim, min(a,b), max(a,b)). Equivalent
+/// to pre-generating a random table, but O(1) memory — required for the
+/// block-zipf experiments where a dimension can carry 10^4+ values.
+class HashedPreferenceModel : public PreferenceModel {
+ public:
+  enum class Style {
+    /// Pr(a<b) uniform in [0,1], Pr(b<a) = 1 - Pr(a<b). This matches the
+    /// paper's "preference probabilities are randomly generated between
+    /// [0,1]" with no incomparability mass.
+    kTotalUniform,
+    /// (Pr(a<b), Pr(b<a)) uniform on the simplex p+q <= 1, so value pairs
+    /// can be incomparable.
+    kSimplexUniform,
+    /// Every pair is (1/2, 1/2) — the "unanimous 1/2" model of the
+    /// #P-hardness proof and of the paper's worked examples.
+    kUnanimousHalf,
+    /// Certain preferences drawn from a random total order per dimension:
+    /// each pair is (1,0) or (0,1). Degenerates to classical skyline.
+    kCertainOrder,
+  };
+
+  HashedPreferenceModel(std::uint64_t seed, Style style)
+      : seed_(seed), style_(style) {}
+
+  std::uint64_t seed() const { return seed_; }
+  Style style() const { return style_; }
+
+  PrefPair GetPair(DimensionId dim, ValueId a, ValueId b) const override;
+
+ private:
+  std::uint64_t PairBits(DimensionId dim, ValueId lo, ValueId hi,
+                         std::uint64_t salt) const;
+
+  std::uint64_t seed_;
+  Style style_;
+};
+
+/// Exact rational preference pair.
+struct RationalPrefPair {
+  Rational less;
+  Rational greater;
+};
+
+/// Exact preference storage; doubles as a PreferenceModel (rounding each
+/// rational to the nearest double) so the same instance can feed both the
+/// exact-rational oracles and the double-precision production solvers.
+class RationalPreferenceModel : public PreferenceModel {
+ public:
+  explicit RationalPreferenceModel(
+      RationalPrefPair default_pair = RationalPrefPair{
+          Rational(BigInt(1), BigInt(2)), Rational(BigInt(1), BigInt(2))})
+      : default_pair_(std::move(default_pair)) {}
+
+  /// Records the exact pair; fails unless 0 <= less, greater and
+  /// less + greater <= 1, and a != b.
+  Status Set(DimensionId dim, ValueId a, ValueId b, Rational less,
+             Rational greater);
+
+  /// The exact pair (Pr(a<b), Pr(b<a)). Requires a != b.
+  RationalPrefPair GetRational(DimensionId dim, ValueId a, ValueId b) const;
+
+  /// Exact Pr(a <= b).
+  Rational LessEqRational(DimensionId dim, ValueId a, ValueId b) const {
+    if (a == b) return Rational(1);
+    return GetRational(dim, a, b).less;
+  }
+
+  PrefPair GetPair(DimensionId dim, ValueId a, ValueId b) const override;
+
+ private:
+  struct Key {
+    DimensionId dim;
+    ValueId lo;
+    ValueId hi;
+    bool operator==(const Key& o) const {
+      return dim == o.dim && lo == o.lo && hi == o.hi;
+    }
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      std::size_t h = HashCombine(std::size_t{0x27d4eb2f}, k.dim);
+      h = HashCombine(h, k.lo);
+      return HashCombine(h, k.hi);
+    }
+  };
+
+  RationalPrefPair default_pair_;
+  std::unordered_map<Key, RationalPrefPair, KeyHash> table_;
+};
+
+}  // namespace skypref
+
+#endif  // SKYPREF_MODEL_PREFERENCE_MODEL_H_

@@ -1,0 +1,31 @@
+#ifndef SKYPREF_MODEL_TYPES_H_
+#define SKYPREF_MODEL_TYPES_H_
+
+/// \file
+/// Fundamental identifier types of the data model.
+///
+/// Objects live in a d-dimensional categorical space. Values are
+/// dimension-local: the ValueId 3 on dimension 0 and the ValueId 3 on
+/// dimension 1 are unrelated values. Preferences are likewise defined per
+/// dimension between that dimension's values.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace skypref {
+
+/// Index of a dimension (attribute), 0-based.
+using DimensionId = std::uint32_t;
+
+/// Dimension-local categorical value identifier, 0-based and dense.
+using ValueId = std::uint32_t;
+
+/// Index of an object within a Dataset, 0-based.
+using ObjectId = std::size_t;
+
+/// Sentinel for "no value".
+inline constexpr ValueId kInvalidValue = static_cast<ValueId>(-1);
+
+}  // namespace skypref
+
+#endif  // SKYPREF_MODEL_TYPES_H_

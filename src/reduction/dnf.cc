@@ -1,0 +1,121 @@
+#include "src/reduction/dnf.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/core/solver.h"
+
+namespace skypref {
+
+Status PositiveDnf::Validate() const {
+  if (clauses.empty()) {
+    return Status::InvalidArgument("DNF formula has no clauses");
+  }
+  for (std::size_t i = 0; i < clauses.size(); ++i) {
+    const auto& clause = clauses[i];
+    if (clause.empty()) {
+      return Status::InvalidArgument("clause " + std::to_string(i) +
+                                     " is empty");
+    }
+    std::set<unsigned> seen;
+    for (unsigned literal : clause) {
+      if (literal >= num_literals) {
+        return Status::OutOfRange("literal x" + std::to_string(literal) +
+                                  " out of range (d=" +
+                                  std::to_string(num_literals) + ")");
+      }
+      if (!seen.insert(literal).second) {
+        return Status::InvalidArgument("clause " + std::to_string(i) +
+                                       " repeats literal x" +
+                                       std::to_string(literal));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::uint64_t> BruteForceCountSatisfying(const PositiveDnf& formula) {
+  SKYPREF_RETURN_IF_ERROR(formula.Validate());
+  if (formula.num_literals > 30) {
+    return Status::ResourceExhausted(
+        "brute-force DNF counting supports at most 30 literals");
+  }
+  std::vector<std::uint32_t> clause_masks;
+  clause_masks.reserve(formula.clauses.size());
+  for (const auto& clause : formula.clauses) {
+    std::uint32_t mask = 0;
+    for (unsigned literal : clause) mask |= std::uint32_t{1} << literal;
+    clause_masks.push_back(mask);
+  }
+  std::uint64_t count = 0;
+  const std::uint64_t assignments = std::uint64_t{1} << formula.num_literals;
+  for (std::uint64_t assignment = 0; assignment < assignments; ++assignment) {
+    for (std::uint32_t mask : clause_masks) {
+      if ((assignment & mask) == mask) {
+        ++count;
+        break;
+      }
+    }
+  }
+  return count;
+}
+
+Result<DnfReduction> ReduceToSkylineInstance(const PositiveDnf& formula) {
+  SKYPREF_RETURN_IF_ERROR(formula.Validate());
+  DnfReduction reduction;
+  reduction.dataset = Dataset(formula.num_literals);
+
+  // The target O sits at value 0 in every dimension.
+  std::vector<ValueId> row(formula.num_literals, 0);
+  SKYPREF_RETURN_IF_ERROR(reduction.dataset.Append(row));
+  reduction.target = 0;
+
+  // One object per distinct clause; all clauses containing x_j share the
+  // value 1 on dimension j, encoding a single shared truth assignment.
+  std::set<std::vector<ValueId>> distinct_rows;
+  std::vector<bool> used(formula.num_literals, false);
+  for (const auto& clause : formula.clauses) {
+    std::fill(row.begin(), row.end(), 0);
+    for (unsigned literal : clause) {
+      row[literal] = 1;
+      used[literal] = true;
+    }
+    if (distinct_rows.insert(row).second) {
+      SKYPREF_RETURN_IF_ERROR(reduction.dataset.Append(row));
+    }
+  }
+
+  const Rational half(BigInt(1), BigInt(2));
+  for (unsigned j = 0; j < formula.num_literals; ++j) {
+    if (!used[j]) continue;
+    ++reduction.used_literals;
+    SKYPREF_RETURN_IF_ERROR(
+        reduction.preferences.Set(j, 0, 1, half, half));
+  }
+  return reduction;
+}
+
+Result<BigInt> CountSatisfyingViaSkyline(const PositiveDnf& formula) {
+  SKYPREF_ASSIGN_OR_RETURN(DnfReduction reduction,
+                           ReduceToSkylineInstance(formula));
+  SKYPREF_ASSIGN_OR_RETURN(
+      Rational sky,
+      ExactSkylineProbabilityRational(reduction.dataset, reduction.target,
+                                      reduction.preferences,
+                                      /*preprocess=*/true));
+  // U = (1 - sky) / mu over the L used literals, mu = 2^-L; unused
+  // variables are free and contribute a factor of 2 each.
+  Rational dominated = Rational(1) - sky;
+  Rational count_used =
+      dominated * Rational(BigInt::PowerOfTwo(reduction.used_literals),
+                           BigInt(1));
+  if (!(count_used.denominator() == BigInt(1))) {
+    return Status::Internal(
+        "(1 - sky) * 2^L is not integral; reduction is broken: " +
+        count_used.ToString());
+  }
+  unsigned free_literals = formula.num_literals - reduction.used_literals;
+  return count_used.numerator() * BigInt::PowerOfTwo(free_literals);
+}
+
+}  // namespace skypref

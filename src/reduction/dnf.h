@@ -1,0 +1,75 @@
+#ifndef SKYPREF_REDUCTION_DNF_H_
+#define SKYPREF_REDUCTION_DNF_H_
+
+/// \file
+/// The #P-completeness construction of Theorem 1.
+///
+/// Counting the satisfying assignments of a positive DNF formula is
+/// #P-complete; Theorem 1 reduces it to a skyline-probability computation:
+///
+///  * each literal x_j becomes a dimension; the target O takes value 0
+///    everywhere, and each dimension used by the formula has one extra
+///    value 1 with the unanimous preference Pr(1 < 0) = Pr(0 < 1) = 1/2;
+///  * each clause C_i becomes an object Q_i with Q_i.j = 1 if x_j in C_i
+///    and Q_i.j = O.j otherwise (the SAME value 1 is shared by all
+///    clauses containing x_j — that sharing is what encodes a consistent
+///    truth assignment);
+///  * a preference world then IS a truth assignment (x_j true iff
+///    1 < 0 on dimension j), each with probability mu = 2^-L where L is
+///    the number of distinct literals used, and Q_i dominates O exactly
+///    when clause C_i is satisfied, so
+///
+///        #DNF (over used literals) = (1 - sky(O)) / mu .
+///
+/// CountSatisfyingViaSkyline runs this end to end in exact rational
+/// arithmetic and returns the integer count over all `num_literals`
+/// variables (unused variables contribute a factor 2 each).
+
+#include <cstdint>
+#include <vector>
+
+#include "src/model/dataset.h"
+#include "src/model/preference_model.h"
+#include "src/util/bigint.h"
+#include "src/util/status.h"
+
+namespace skypref {
+
+/// A DNF formula with only positive (unnegated) literals.
+struct PositiveDnf {
+  /// Variables are 0-based: x_0 .. x_{num_literals-1}.
+  unsigned num_literals = 0;
+  /// Each clause is the set of literal indices it conjoins.
+  std::vector<std::vector<unsigned>> clauses;
+
+  /// Structural checks: literal indices in range, clauses non-empty and
+  /// duplicate-free, at least one clause.
+  Status Validate() const;
+};
+
+/// Counts satisfying assignments by enumerating all 2^num_literals
+/// assignments. Requires num_literals <= 30.
+Result<std::uint64_t> BruteForceCountSatisfying(const PositiveDnf& formula);
+
+/// The skyline instance a formula reduces to.
+struct DnfReduction {
+  Dataset dataset;        ///< target object first, then one object per clause
+  RationalPreferenceModel preferences;
+  ObjectId target = 0;
+  /// Number of distinct literals actually used by some clause (L).
+  unsigned used_literals = 0;
+
+  DnfReduction() : dataset(1) {}
+};
+
+/// Builds the Theorem-1 reduction (polynomial time).
+Result<DnfReduction> ReduceToSkylineInstance(const PositiveDnf& formula);
+
+/// Counts satisfying assignments of \p formula by computing sky(O) of the
+/// reduced instance in exact rational arithmetic — the constructive
+/// content of Theorem 1.
+Result<BigInt> CountSatisfyingViaSkyline(const PositiveDnf& formula);
+
+}  // namespace skypref
+
+#endif  // SKYPREF_REDUCTION_DNF_H_

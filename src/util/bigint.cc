@@ -1,0 +1,293 @@
+#include "src/util/bigint.h"
+
+#include <cstdlib>
+#include <utility>
+
+namespace skypref {
+
+namespace {
+constexpr std::uint64_t kLimbBase = std::uint64_t{1} << 32;
+}  // namespace
+
+BigInt::BigInt(std::int64_t value) {
+  negative_ = value < 0;
+  // Avoid overflow on INT64_MIN by working in unsigned space.
+  std::uint64_t magnitude =
+      negative_ ? ~static_cast<std::uint64_t>(value) + 1
+                : static_cast<std::uint64_t>(value);
+  while (magnitude != 0) {
+    limbs_.push_back(static_cast<std::uint32_t>(magnitude & 0xffffffffu));
+    magnitude >>= 32;
+  }
+  Normalize();
+}
+
+BigInt::BigInt(std::uint64_t value) {
+  while (value != 0) {
+    limbs_.push_back(static_cast<std::uint32_t>(value & 0xffffffffu));
+    value >>= 32;
+  }
+}
+
+Result<BigInt> BigInt::FromString(std::string_view text) {
+  if (text.empty()) return Status::InvalidArgument("empty BigInt literal");
+  bool negative = false;
+  std::size_t i = 0;
+  if (text[0] == '+' || text[0] == '-') {
+    negative = text[0] == '-';
+    i = 1;
+  }
+  if (i == text.size()) {
+    return Status::InvalidArgument("BigInt literal has no digits");
+  }
+  BigInt value;
+  const BigInt ten(std::int64_t{10});
+  for (; i < text.size(); ++i) {
+    char c = text[i];
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument(std::string("bad digit in BigInt: ") + c);
+    }
+    value = value * ten + BigInt(static_cast<std::int64_t>(c - '0'));
+  }
+  if (negative && !value.is_zero()) value.negative_ = true;
+  return value;
+}
+
+void BigInt::Normalize() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+  if (limbs_.empty()) negative_ = false;
+}
+
+int BigInt::CompareMagnitude(const std::vector<std::uint32_t>& a,
+                             const std::vector<std::uint32_t>& b) {
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  for (std::size_t i = a.size(); i-- > 0;) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+int BigInt::Compare(const BigInt& other) const {
+  if (negative_ != other.negative_) return negative_ ? -1 : 1;
+  int mag = CompareMagnitude(limbs_, other.limbs_);
+  return negative_ ? -mag : mag;
+}
+
+BigInt BigInt::operator-() const {
+  BigInt result = *this;
+  if (!result.is_zero()) result.negative_ = !result.negative_;
+  return result;
+}
+
+BigInt BigInt::Abs() const {
+  BigInt result = *this;
+  result.negative_ = false;
+  return result;
+}
+
+std::vector<std::uint32_t> BigInt::AddMagnitude(
+    const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b) {
+  const auto& longer = a.size() >= b.size() ? a : b;
+  const auto& shorter = a.size() >= b.size() ? b : a;
+  std::vector<std::uint32_t> out;
+  out.reserve(longer.size() + 1);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < longer.size(); ++i) {
+    std::uint64_t sum = carry + longer[i];
+    if (i < shorter.size()) sum += shorter[i];
+    out.push_back(static_cast<std::uint32_t>(sum & 0xffffffffu));
+    carry = sum >> 32;
+  }
+  if (carry != 0) out.push_back(static_cast<std::uint32_t>(carry));
+  return out;
+}
+
+std::vector<std::uint32_t> BigInt::SubMagnitude(
+    const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b) {
+  std::vector<std::uint32_t> out;
+  out.reserve(a.size());
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::int64_t diff = static_cast<std::int64_t>(a[i]) - borrow -
+                        (i < b.size() ? static_cast<std::int64_t>(b[i]) : 0);
+    if (diff < 0) {
+      diff += static_cast<std::int64_t>(kLimbBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.push_back(static_cast<std::uint32_t>(diff));
+  }
+  return out;
+}
+
+BigInt BigInt::operator+(const BigInt& other) const {
+  BigInt result;
+  if (negative_ == other.negative_) {
+    result.limbs_ = AddMagnitude(limbs_, other.limbs_);
+    result.negative_ = negative_;
+  } else {
+    int mag = CompareMagnitude(limbs_, other.limbs_);
+    if (mag == 0) return BigInt();
+    if (mag > 0) {
+      result.limbs_ = SubMagnitude(limbs_, other.limbs_);
+      result.negative_ = negative_;
+    } else {
+      result.limbs_ = SubMagnitude(other.limbs_, limbs_);
+      result.negative_ = other.negative_;
+    }
+  }
+  result.Normalize();
+  return result;
+}
+
+BigInt BigInt::operator-(const BigInt& other) const { return *this + (-other); }
+
+BigInt BigInt::operator*(const BigInt& other) const {
+  if (is_zero() || other.is_zero()) return BigInt();
+  BigInt result;
+  result.limbs_.assign(limbs_.size() + other.limbs_.size(), 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < other.limbs_.size(); ++j) {
+      std::uint64_t cur = result.limbs_[i + j] + carry +
+                          static_cast<std::uint64_t>(limbs_[i]) * other.limbs_[j];
+      result.limbs_[i + j] = static_cast<std::uint32_t>(cur & 0xffffffffu);
+      carry = cur >> 32;
+    }
+    std::size_t k = i + other.limbs_.size();
+    while (carry != 0) {
+      std::uint64_t cur = result.limbs_[k] + carry;
+      result.limbs_[k] = static_cast<std::uint32_t>(cur & 0xffffffffu);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  result.negative_ = negative_ != other.negative_;
+  result.Normalize();
+  return result;
+}
+
+void BigInt::DivMod(const BigInt& dividend, const BigInt& divisor,
+                    BigInt* quotient, BigInt* remainder) {
+  if (divisor.is_zero()) {
+    std::abort();  // division by zero is a programming error
+  }
+  // Schoolbook binary long division on magnitudes: O(bits * limbs). The
+  // library only divides numbers produced by rational normalization, whose
+  // sizes stay modest, so simplicity beats Knuth algorithm D here.
+  BigInt q, r;
+  const std::size_t bits = dividend.BitLength();
+  for (std::size_t i = bits; i-- > 0;) {
+    // r = r * 2 + bit(i)
+    r = r + r;
+    std::uint32_t limb = dividend.limbs_[i / 32];
+    if ((limb >> (i % 32)) & 1u) r = r + BigInt(std::int64_t{1});
+    if (CompareMagnitude(r.limbs_, divisor.limbs_) >= 0) {
+      r.limbs_ = SubMagnitude(r.limbs_, divisor.limbs_);
+      r.Normalize();
+      std::size_t limb_index = i / 32;
+      if (q.limbs_.size() <= limb_index) q.limbs_.resize(limb_index + 1, 0);
+      q.limbs_[limb_index] |= (std::uint32_t{1} << (i % 32));
+    }
+  }
+  q.Normalize();
+  r.Normalize();
+  q.negative_ = !q.is_zero() && (dividend.negative_ != divisor.negative_);
+  r.negative_ = !r.is_zero() && dividend.negative_;
+  if (quotient != nullptr) *quotient = std::move(q);
+  if (remainder != nullptr) *remainder = std::move(r);
+}
+
+BigInt BigInt::operator/(const BigInt& other) const {
+  BigInt q;
+  DivMod(*this, other, &q, nullptr);
+  return q;
+}
+
+BigInt BigInt::operator%(const BigInt& other) const {
+  BigInt r;
+  DivMod(*this, other, nullptr, &r);
+  return r;
+}
+
+BigInt BigInt::Gcd(BigInt a, BigInt b) {
+  a.negative_ = false;
+  b.negative_ = false;
+  while (!b.is_zero()) {
+    BigInt r = a % b;
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+BigInt BigInt::PowerOfTwo(unsigned exponent) {
+  BigInt result;
+  result.limbs_.assign(exponent / 32 + 1, 0);
+  result.limbs_.back() = std::uint32_t{1} << (exponent % 32);
+  return result;
+}
+
+std::string BigInt::ToString() const {
+  if (is_zero()) return "0";
+  // Repeatedly divide the magnitude by 10^9, collecting 9-digit chunks.
+  std::vector<std::uint32_t> mag = limbs_;
+  std::string digits;
+  while (!mag.empty()) {
+    std::uint64_t rem = 0;
+    for (std::size_t i = mag.size(); i-- > 0;) {
+      std::uint64_t cur = (rem << 32) | mag[i];
+      mag[i] = static_cast<std::uint32_t>(cur / 1000000000u);
+      rem = cur % 1000000000u;
+    }
+    while (!mag.empty() && mag.back() == 0) mag.pop_back();
+    for (int k = 0; k < 9; ++k) {
+      digits.push_back(static_cast<char>('0' + rem % 10));
+      rem /= 10;
+    }
+  }
+  while (digits.size() > 1 && digits.back() == '0') digits.pop_back();
+  if (negative_) digits.push_back('-');
+  return std::string(digits.rbegin(), digits.rend());
+}
+
+double BigInt::ToDouble() const {
+  double value = 0.0;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    value = value * 4294967296.0 + static_cast<double>(limbs_[i]);
+  }
+  return negative_ ? -value : value;
+}
+
+bool BigInt::ToInt64(std::int64_t* out) const {
+  if (limbs_.size() > 2) return false;
+  std::uint64_t magnitude = 0;
+  if (limbs_.size() >= 1) magnitude = limbs_[0];
+  if (limbs_.size() == 2) magnitude |= static_cast<std::uint64_t>(limbs_[1]) << 32;
+  if (negative_) {
+    if (magnitude > std::uint64_t{1} << 63) return false;
+    *out = static_cast<std::int64_t>(~magnitude + 1);
+  } else {
+    if (magnitude > static_cast<std::uint64_t>(INT64_MAX)) return false;
+    *out = static_cast<std::int64_t>(magnitude);
+  }
+  return true;
+}
+
+std::size_t BigInt::BitLength() const {
+  if (limbs_.empty()) return 0;
+  std::uint32_t top = limbs_.back();
+  std::size_t bits = (limbs_.size() - 1) * 32;
+  while (top != 0) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+std::ostream& operator<<(std::ostream& os, const BigInt& value) {
+  return os << value.ToString();
+}
+
+}  // namespace skypref

@@ -1,0 +1,112 @@
+#ifndef SKYPREF_UTIL_BIGINT_H_
+#define SKYPREF_UTIL_BIGINT_H_
+
+/// \file
+/// Arbitrary-precision signed integers.
+///
+/// BigInt backs the exact Rational arithmetic used by the correctness
+/// oracles: the inclusion-exclusion solver and the brute-force possible-
+/// world enumerator can both run over rationals, so tests can assert
+/// bit-exact equality instead of epsilon comparisons.
+///
+/// Representation: sign-magnitude with base 2^32 limbs, least significant
+/// limb first, no trailing zero limbs, and zero is represented by an empty
+/// limb vector with positive sign.
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace skypref {
+
+class BigInt {
+ public:
+  /// Zero.
+  BigInt() = default;
+
+  /// Conversion from native integers.
+  BigInt(std::int64_t value);   // NOLINT(runtime/explicit)
+  BigInt(std::uint64_t value);  // NOLINT(runtime/explicit)
+  BigInt(int value) : BigInt(static_cast<std::int64_t>(value)) {}  // NOLINT
+
+  /// Parses an optionally signed decimal literal.
+  static Result<BigInt> FromString(std::string_view text);
+
+  bool is_zero() const { return limbs_.empty(); }
+  bool is_negative() const { return negative_; }
+
+  /// Three-way comparison: -1, 0, +1.
+  int Compare(const BigInt& other) const;
+
+  BigInt operator-() const;
+  BigInt Abs() const;
+
+  BigInt operator+(const BigInt& other) const;
+  BigInt operator-(const BigInt& other) const;
+  BigInt operator*(const BigInt& other) const;
+  /// Truncated division (C++ semantics: quotient rounds toward zero).
+  /// Division by zero aborts.
+  BigInt operator/(const BigInt& other) const;
+  /// Remainder with the sign of the dividend (C++ semantics).
+  BigInt operator%(const BigInt& other) const;
+
+  BigInt& operator+=(const BigInt& other) { return *this = *this + other; }
+  BigInt& operator-=(const BigInt& other) { return *this = *this - other; }
+  BigInt& operator*=(const BigInt& other) { return *this = *this * other; }
+  BigInt& operator/=(const BigInt& other) { return *this = *this / other; }
+  BigInt& operator%=(const BigInt& other) { return *this = *this % other; }
+
+  bool operator==(const BigInt& o) const { return Compare(o) == 0; }
+  bool operator!=(const BigInt& o) const { return Compare(o) != 0; }
+  bool operator<(const BigInt& o) const { return Compare(o) < 0; }
+  bool operator<=(const BigInt& o) const { return Compare(o) <= 0; }
+  bool operator>(const BigInt& o) const { return Compare(o) > 0; }
+  bool operator>=(const BigInt& o) const { return Compare(o) >= 0; }
+
+  /// Quotient and remainder in one pass; remainder has the dividend's sign.
+  static void DivMod(const BigInt& dividend, const BigInt& divisor,
+                     BigInt* quotient, BigInt* remainder);
+
+  /// Greatest common divisor of |a| and |b|; gcd(0, 0) == 0.
+  static BigInt Gcd(BigInt a, BigInt b);
+
+  /// 2^exponent.
+  static BigInt PowerOfTwo(unsigned exponent);
+
+  /// Decimal representation with leading '-' when negative.
+  std::string ToString() const;
+
+  /// Closest double (may overflow to +/-inf for huge magnitudes).
+  double ToDouble() const;
+
+  /// True iff the value fits in int64_t; *out receives the value.
+  bool ToInt64(std::int64_t* out) const;
+
+  /// Number of significant bits of the magnitude (0 for zero).
+  std::size_t BitLength() const;
+
+ private:
+  void Normalize();
+  static int CompareMagnitude(const std::vector<std::uint32_t>& a,
+                              const std::vector<std::uint32_t>& b);
+  static std::vector<std::uint32_t> AddMagnitude(
+      const std::vector<std::uint32_t>& a,
+      const std::vector<std::uint32_t>& b);
+  // Requires |a| >= |b|.
+  static std::vector<std::uint32_t> SubMagnitude(
+      const std::vector<std::uint32_t>& a,
+      const std::vector<std::uint32_t>& b);
+
+  bool negative_ = false;
+  std::vector<std::uint32_t> limbs_;  // base 2^32, little-endian
+};
+
+std::ostream& operator<<(std::ostream& os, const BigInt& value);
+
+}  // namespace skypref
+
+#endif  // SKYPREF_UTIL_BIGINT_H_

@@ -1,0 +1,47 @@
+#ifndef SKYPREF_UTIL_KAHAN_H_
+#define SKYPREF_UTIL_KAHAN_H_
+
+/// \file
+/// Compensated (Neumaier) floating-point summation.
+///
+/// The inclusion-exclusion expansion of Eq. 4 alternates signs across up
+/// to 2^n terms; naive accumulation loses digits to cancellation. The
+/// double-precision exact solver therefore accumulates through this
+/// compensated summator. (The Rational instantiation needs no
+/// compensation and uses a plain accumulator; see NumericTraits in
+/// src/core/numeric_traits.h.)
+
+namespace skypref {
+
+class KahanSum {
+ public:
+  KahanSum() = default;
+  explicit KahanSum(double initial) : sum_(initial) {}
+
+  /// Adds a term with Neumaier's correction (robust when |term| > |sum|).
+  void Add(double term) {
+    double t = sum_ + term;
+    if ((sum_ >= 0 ? sum_ : -sum_) >= (term >= 0 ? term : -term)) {
+      compensation_ += (sum_ - t) + term;
+    } else {
+      compensation_ += (term - t) + sum_;
+    }
+    sum_ = t;
+  }
+
+  KahanSum& operator+=(double term) {
+    Add(term);
+    return *this;
+  }
+
+  /// The compensated total.
+  double Value() const { return sum_ + compensation_; }
+
+ private:
+  double sum_ = 0.0;
+  double compensation_ = 0.0;
+};
+
+}  // namespace skypref
+
+#endif  // SKYPREF_UTIL_KAHAN_H_

@@ -1,0 +1,54 @@
+#include "src/util/random.h"
+
+namespace skypref {
+
+Rng::Rng(std::uint64_t seed) {
+  SplitMix64 mixer(seed);
+  for (auto& word : state_) word = mixer.Next();
+}
+
+std::uint64_t Rng::NextUint64() {
+  const std::uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t Rng::NextBounded(std::uint64_t bound) {
+  // Lemire-style rejection: discard draws from the biased tail.
+  const std::uint64_t threshold = (~bound + 1) % bound;  // 2^64 mod bound
+  while (true) {
+    std::uint64_t draw = NextUint64();
+    if (draw >= threshold) return draw % bound;
+  }
+}
+
+std::int64_t Rng::NextInt(std::int64_t lo, std::int64_t hi) {
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  if (span == 0) {
+    // Full 64-bit range requested.
+    return static_cast<std::int64_t>(NextUint64());
+  }
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) +
+                                   NextBounded(span));
+}
+
+bool Rng::NextBernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+std::uint64_t Rng::Fork() { return NextUint64() ^ 0x6a09e667f3bcc909ULL; }
+
+}  // namespace skypref

@@ -1,0 +1,103 @@
+#include "src/util/rational.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <utility>
+
+namespace skypref {
+
+Rational::Rational(BigInt numerator, BigInt denominator)
+    : numerator_(std::move(numerator)), denominator_(std::move(denominator)) {
+  if (denominator_.is_zero()) std::abort();
+  Normalize();
+}
+
+Result<Rational> Rational::FromRatio(std::int64_t numerator,
+                                     std::int64_t denominator) {
+  if (denominator == 0) {
+    return Status::InvalidArgument("rational with zero denominator");
+  }
+  return Rational(BigInt(numerator), BigInt(denominator));
+}
+
+Result<Rational> Rational::FromDouble(double value) {
+  if (std::isnan(value) || std::isinf(value)) {
+    return Status::InvalidArgument("rational from non-finite double");
+  }
+  if (value == 0.0) return Rational();
+  int exponent = 0;
+  double mantissa = std::frexp(value, &exponent);  // value = mantissa * 2^exp
+  // Scale the mantissa to an exact 53-bit integer.
+  std::int64_t scaled = static_cast<std::int64_t>(std::ldexp(mantissa, 53));
+  exponent -= 53;
+  BigInt numerator(scaled);
+  if (exponent >= 0) {
+    return Rational(numerator * BigInt::PowerOfTwo(static_cast<unsigned>(exponent)),
+                    BigInt(std::int64_t{1}));
+  }
+  return Rational(std::move(numerator),
+                  BigInt::PowerOfTwo(static_cast<unsigned>(-exponent)));
+}
+
+void Rational::Normalize() {
+  if (denominator_.is_negative()) {
+    numerator_ = -numerator_;
+    denominator_ = -denominator_;
+  }
+  if (numerator_.is_zero()) {
+    denominator_ = BigInt(std::int64_t{1});
+    return;
+  }
+  BigInt gcd = BigInt::Gcd(numerator_, denominator_);
+  numerator_ /= gcd;
+  denominator_ /= gcd;
+}
+
+int Rational::Compare(const Rational& other) const {
+  // a/b vs c/d  <=>  a*d vs c*b   (b, d > 0)
+  return (numerator_ * other.denominator_).Compare(other.numerator_ *
+                                                   denominator_);
+}
+
+Rational Rational::operator-() const {
+  Rational result = *this;
+  result.numerator_ = -result.numerator_;
+  return result;
+}
+
+Rational Rational::operator+(const Rational& other) const {
+  return Rational(
+      numerator_ * other.denominator_ + other.numerator_ * denominator_,
+      denominator_ * other.denominator_);
+}
+
+Rational Rational::operator-(const Rational& other) const {
+  return *this + (-other);
+}
+
+Rational Rational::operator*(const Rational& other) const {
+  return Rational(numerator_ * other.numerator_,
+                  denominator_ * other.denominator_);
+}
+
+Rational Rational::operator/(const Rational& other) const {
+  if (other.is_zero()) std::abort();
+  return Rational(numerator_ * other.denominator_,
+                  denominator_ * other.numerator_);
+}
+
+std::string Rational::ToString() const {
+  if (denominator_ == BigInt(std::int64_t{1})) return numerator_.ToString();
+  return numerator_.ToString() + "/" + denominator_.ToString();
+}
+
+double Rational::ToDouble() const {
+  // Good enough for reporting: both operands convert with one rounding each.
+  return numerator_.ToDouble() / denominator_.ToDouble();
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& value) {
+  return os << value.ToString();
+}
+
+}  // namespace skypref

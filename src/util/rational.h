@@ -1,0 +1,87 @@
+#ifndef SKYPREF_UTIL_RATIONAL_H_
+#define SKYPREF_UTIL_RATIONAL_H_
+
+/// \file
+/// Exact rational arithmetic over BigInt.
+///
+/// Rational is the "exact numeric" type plugged into the templated solvers
+/// (ExactSolver, BruteForceSolver, partition/absorption transforms). With
+/// preference probabilities expressed as rationals, all skyline
+/// probabilities are computed without rounding, which lets tests assert
+/// bit-exact equality between independent algorithms.
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "src/util/bigint.h"
+#include "src/util/status.h"
+
+namespace skypref {
+
+class Rational {
+ public:
+  /// Zero.
+  Rational() : numerator_(0), denominator_(1) {}
+
+  /// Whole number.
+  Rational(std::int64_t value)  // NOLINT(runtime/explicit)
+      : numerator_(value), denominator_(1) {}
+  Rational(int value) : Rational(static_cast<std::int64_t>(value)) {}  // NOLINT
+
+  /// numerator / denominator, normalized. Zero denominator aborts.
+  Rational(BigInt numerator, BigInt denominator);
+
+  /// Checked construction from native integers.
+  static Result<Rational> FromRatio(std::int64_t numerator,
+                                    std::int64_t denominator);
+
+  /// Exact value of a double (every finite double is a dyadic rational).
+  /// Fails for NaN and infinities.
+  static Result<Rational> FromDouble(double value);
+
+  const BigInt& numerator() const { return numerator_; }
+  const BigInt& denominator() const { return denominator_; }
+
+  bool is_zero() const { return numerator_.is_zero(); }
+  bool is_negative() const { return numerator_.is_negative(); }
+
+  int Compare(const Rational& other) const;
+
+  Rational operator-() const;
+  Rational operator+(const Rational& other) const;
+  Rational operator-(const Rational& other) const;
+  Rational operator*(const Rational& other) const;
+  /// Division by zero aborts.
+  Rational operator/(const Rational& other) const;
+
+  Rational& operator+=(const Rational& o) { return *this = *this + o; }
+  Rational& operator-=(const Rational& o) { return *this = *this - o; }
+  Rational& operator*=(const Rational& o) { return *this = *this * o; }
+  Rational& operator/=(const Rational& o) { return *this = *this / o; }
+
+  bool operator==(const Rational& o) const { return Compare(o) == 0; }
+  bool operator!=(const Rational& o) const { return Compare(o) != 0; }
+  bool operator<(const Rational& o) const { return Compare(o) < 0; }
+  bool operator<=(const Rational& o) const { return Compare(o) <= 0; }
+  bool operator>(const Rational& o) const { return Compare(o) > 0; }
+  bool operator>=(const Rational& o) const { return Compare(o) >= 0; }
+
+  /// "num/den" (or just "num" when the denominator is 1).
+  std::string ToString() const;
+
+  /// Closest double.
+  double ToDouble() const;
+
+ private:
+  void Normalize();
+
+  BigInt numerator_;
+  BigInt denominator_;  // always positive
+};
+
+std::ostream& operator<<(std::ostream& os, const Rational& value);
+
+}  // namespace skypref
+
+#endif  // SKYPREF_UTIL_RATIONAL_H_

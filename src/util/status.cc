@@ -1,0 +1,71 @@
+#include "src/util/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace skypref {
+
+namespace {
+const std::string& EmptyString() {
+  static const std::string* empty = new std::string();
+  return *empty;
+}
+}  // namespace
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kIOError:
+      return "IOError";
+    case StatusCode::kUnimplemented:
+      return "Unimplemented";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+Status::Status(StatusCode code, std::string message) {
+  if (code == StatusCode::kOk) {
+    code = StatusCode::kInternal;
+    message = "Status constructed with kOk and a message: " + message;
+  }
+  state_ = std::make_shared<const State>(State{code, std::move(message)});
+}
+
+const std::string& Status::message() const {
+  return ok() ? EmptyString() : state_->message;
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string result = StatusCodeToString(code());
+  result += ": ";
+  result += message();
+  return result;
+}
+
+void Status::CheckOK() const {
+  if (ok()) return;
+  std::fprintf(stderr, "Fatal: %s\n", ToString().c_str());
+  std::abort();
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+}  // namespace skypref

@@ -1,0 +1,183 @@
+#ifndef SKYPREF_UTIL_STATUS_H_
+#define SKYPREF_UTIL_STATUS_H_
+
+/// \file
+/// Lightweight Status / Result error-handling primitives.
+///
+/// Library code never throws: fallible operations return a Status (or a
+/// Result<T> when they also produce a value). The design follows the
+/// Arrow/Abseil idiom: cheap success path, message-carrying failure path,
+/// and macros for early returns.
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace skypref {
+
+/// Machine-readable error category carried by a non-OK Status.
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kIOError,
+  kUnimplemented,
+  kInternal,
+};
+
+/// \brief Human-readable name of a StatusCode ("InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of a fallible operation: OK, or a code plus message.
+///
+/// An OK Status stores no heap state; error states allocate one small
+/// struct. Status is cheaply movable and copyable.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given error \p code and \p message.
+  /// Using kOk here is a programming error and is normalized to Internal.
+  Status(StatusCode code, std::string message);
+
+  /// Factory helpers, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return state_ == nullptr; }
+
+  /// The error category; kOk when ok().
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+
+  /// The error message; empty when ok().
+  const std::string& message() const;
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  /// Aborts the process with the error message if not ok(). For use in
+  /// tests, examples, and tools where an error is unrecoverable.
+  void CheckOK() const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  // Null on success; shared so copies are cheap and Status is small.
+  std::shared_ptr<const State> state_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// \brief Either a value of type T or an error Status.
+///
+/// Access to the value of a non-OK Result aborts; callers must test ok()
+/// (or use the SKYPREF_ASSIGN_OR_RETURN macro).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : payload_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(payload_).ok()) {
+      payload_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  /// The error status; OK when this Result holds a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(payload_);
+  }
+
+  /// The contained value. Aborts if !ok().
+  const T& value() const& {
+    CheckHasValue();
+    return std::get<T>(payload_);
+  }
+  T& value() & {
+    CheckHasValue();
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    CheckHasValue();
+    return std::get<T>(std::move(payload_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void CheckHasValue() const {
+    if (!ok()) std::get<Status>(payload_).CheckOK();
+  }
+  std::variant<T, Status> payload_;
+};
+
+/// Early-return helpers (statement-expression free, portable).
+#define SKYPREF_RETURN_IF_ERROR(expr)                   \
+  do {                                                  \
+    ::skypref::Status _skypref_status = (expr);         \
+    if (!_skypref_status.ok()) return _skypref_status;  \
+  } while (false)
+
+#define SKYPREF_CONCAT_IMPL(a, b) a##b
+#define SKYPREF_CONCAT(a, b) SKYPREF_CONCAT_IMPL(a, b)
+
+/// Assigns the value of a Result expression to `lhs`, returning the error
+/// status from the enclosing function on failure.
+#define SKYPREF_ASSIGN_OR_RETURN(lhs, rexpr)                        \
+  auto SKYPREF_CONCAT(_skypref_result_, __LINE__) = (rexpr);        \
+  if (!SKYPREF_CONCAT(_skypref_result_, __LINE__).ok())             \
+    return SKYPREF_CONCAT(_skypref_result_, __LINE__).status();     \
+  lhs = std::move(SKYPREF_CONCAT(_skypref_result_, __LINE__)).value()
+
+}  // namespace skypref
+
+#endif  // SKYPREF_UTIL_STATUS_H_

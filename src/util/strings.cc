@@ -1,0 +1,75 @@
+#include "src/util/strings.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+namespace skypref {
+
+std::vector<std::string> StrSplit(std::string_view input, char delimiter) {
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  while (true) {
+    std::size_t pos = input.find(delimiter, start);
+    if (pos == std::string_view::npos) {
+      fields.emplace_back(input.substr(start));
+      break;
+    }
+    fields.emplace_back(input.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return fields;
+}
+
+std::string_view StrTrim(std::string_view input) {
+  const char* kWhitespace = " \t\r\n\f\v";
+  std::size_t begin = input.find_first_not_of(kWhitespace);
+  if (begin == std::string_view::npos) return std::string_view();
+  std::size_t end = input.find_last_not_of(kWhitespace);
+  return input.substr(begin, end - begin + 1);
+}
+
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view separator) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(separator);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+Result<std::int64_t> ParseInt64(std::string_view s) {
+  std::string buf(StrTrim(s));
+  if (buf.empty()) return Status::InvalidArgument("empty integer literal");
+  errno = 0;
+  char* end = nullptr;
+  long long value = std::strtoll(buf.c_str(), &end, 10);
+  if (errno == ERANGE) {
+    return Status::OutOfRange("integer out of range: " + buf);
+  }
+  if (end != buf.c_str() + buf.size()) {
+    return Status::InvalidArgument("not an integer: " + buf);
+  }
+  return static_cast<std::int64_t>(value);
+}
+
+Result<double> ParseDouble(std::string_view s) {
+  std::string buf(StrTrim(s));
+  if (buf.empty()) return Status::InvalidArgument("empty double literal");
+  errno = 0;
+  char* end = nullptr;
+  double value = std::strtod(buf.c_str(), &end);
+  if (errno == ERANGE) {
+    return Status::OutOfRange("double out of range: " + buf);
+  }
+  if (end != buf.c_str() + buf.size()) {
+    return Status::InvalidArgument("not a double: " + buf);
+  }
+  return value;
+}
+
+}  // namespace skypref

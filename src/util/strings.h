@@ -1,0 +1,39 @@
+#ifndef SKYPREF_UTIL_STRINGS_H_
+#define SKYPREF_UTIL_STRINGS_H_
+
+/// \file
+/// Small string helpers used across the library (splitting, trimming,
+/// joining, and checked numeric parsing).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace skypref {
+
+/// Splits \p input on \p delimiter. Adjacent delimiters produce empty
+/// fields; an empty input yields a single empty field (CSV semantics).
+std::vector<std::string> StrSplit(std::string_view input, char delimiter);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StrTrim(std::string_view input);
+
+/// Joins \p parts with \p separator.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view separator);
+
+/// True iff \p s begins with \p prefix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Parses a whole string as a signed 64-bit integer.
+Result<std::int64_t> ParseInt64(std::string_view s);
+
+/// Parses a whole string as a double.
+Result<double> ParseDouble(std::string_view s);
+
+}  // namespace skypref
+
+#endif  // SKYPREF_UTIL_STRINGS_H_

@@ -1,0 +1,74 @@
+#include "src/util/thread_pool.h"
+
+#include <algorithm>
+
+namespace skypref {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+std::size_t ThreadPool::DefaultThreads() {
+  unsigned hardware = std::thread::hardware_concurrency();
+  return hardware > 1 ? hardware - 1 : 1;
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    work_available_.wait(lock, [this] {
+      return shutting_down_ || (current_fn_ != nullptr &&
+                                next_index_ < end_index_);
+    });
+    if (shutting_down_) return;
+    while (current_fn_ != nullptr && next_index_ < end_index_) {
+      std::size_t index = next_index_++;
+      ++in_flight_;
+      const auto* fn = current_fn_;
+      lock.unlock();
+      (*fn)(index);
+      lock.lock();
+      --in_flight_;
+    }
+    work_done_.notify_all();
+  }
+}
+
+void ThreadPool::ParallelFor(std::size_t count,
+                             const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (workers_.empty()) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  current_fn_ = &fn;
+  next_index_ = 0;
+  end_index_ = count;
+  work_available_.notify_all();
+  // The calling thread participates too.
+  while (next_index_ < end_index_) {
+    std::size_t index = next_index_++;
+    ++in_flight_;
+    lock.unlock();
+    fn(index);
+    lock.lock();
+    --in_flight_;
+  }
+  work_done_.wait(lock, [this] { return in_flight_ == 0; });
+  current_fn_ = nullptr;
+}
+
+}  // namespace skypref

@@ -1,0 +1,85 @@
+#ifndef SKYPREF_UTIL_UNION_FIND_H_
+#define SKYPREF_UTIL_UNION_FIND_H_
+
+/// \file
+/// Disjoint-set forest with union by size and path halving.
+///
+/// Used by the partition preprocessing step (Theorem 4): objects are
+/// merged whenever they share an attribute value that differs from the
+/// target object's value in that dimension, and the resulting components
+/// are solved independently.
+
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+namespace skypref {
+
+class UnionFind {
+ public:
+  /// Creates \p count singleton sets labelled 0..count-1.
+  explicit UnionFind(std::size_t count)
+      : parent_(count), size_(count, 1), components_(count) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+
+  /// Representative of x's set.
+  std::size_t Find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // path halving
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Merges the sets containing a and b; returns false if already merged.
+  bool Union(std::size_t a, std::size_t b) {
+    std::size_t ra = Find(a);
+    std::size_t rb = Find(b);
+    if (ra == rb) return false;
+    if (size_[ra] < size_[rb]) std::swap(ra, rb);
+    parent_[rb] = ra;
+    size_[ra] += size_[rb];
+    --components_;
+    return true;
+  }
+
+  /// True iff a and b are in the same set.
+  bool Connected(std::size_t a, std::size_t b) { return Find(a) == Find(b); }
+
+  /// Number of elements in x's set.
+  std::size_t SetSize(std::size_t x) { return size_[Find(x)]; }
+
+  /// Current number of disjoint sets.
+  std::size_t component_count() const { return components_; }
+
+  std::size_t element_count() const { return parent_.size(); }
+
+  /// Groups elements by component; each inner vector is one component with
+  /// elements in increasing order, components ordered by smallest element.
+  std::vector<std::vector<std::size_t>> Components();
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> size_;
+  std::size_t components_;
+};
+
+inline std::vector<std::vector<std::size_t>> UnionFind::Components() {
+  const std::size_t n = parent_.size();
+  std::vector<std::vector<std::size_t>> groups;
+  std::vector<std::size_t> group_of(n, static_cast<std::size_t>(-1));
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t root = Find(i);
+    if (group_of[root] == static_cast<std::size_t>(-1)) {
+      group_of[root] = groups.size();
+      groups.emplace_back();
+    }
+    groups[group_of[root]].push_back(i);
+  }
+  return groups;
+}
+
+}  // namespace skypref
+
+#endif  // SKYPREF_UTIL_UNION_FIND_H_

@@ -1,0 +1,63 @@
+#include "src/workload/block_zipf_generator.h"
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "src/util/random.h"
+#include "src/workload/zipf.h"
+
+namespace skypref {
+
+Result<Dataset> GenerateBlockZipf(const BlockZipfOptions& options) {
+  if (options.objects == 0 || options.dimensions == 0) {
+    return Status::InvalidArgument("need at least one object and dimension");
+  }
+  if (options.block_size == 0 || options.values_per_block == 0) {
+    return Status::InvalidArgument(
+        "block size and values per block must be positive");
+  }
+  double log_capacity =
+      static_cast<double>(options.dimensions) *
+      std::log(static_cast<double>(options.values_per_block));
+  if (log_capacity < std::log(static_cast<double>(options.block_size))) {
+    return Status::InvalidArgument(
+        "block value domain too small for duplicate-free blocks of size " +
+        std::to_string(options.block_size));
+  }
+
+  SKYPREF_ASSIGN_OR_RETURN(
+      ZipfDistribution zipf,
+      ZipfDistribution::Create(options.values_per_block, options.theta));
+
+  Dataset data(options.dimensions);
+  Rng rng(options.seed);
+  std::vector<ValueId> row(options.dimensions);
+  std::size_t block = 0;
+  while (data.size() < options.objects) {
+    const std::size_t remaining = options.objects - data.size();
+    const std::size_t block_objects = std::min(options.block_size, remaining);
+    const ValueId base =
+        static_cast<ValueId>(block) * options.values_per_block;
+    std::set<std::vector<ValueId>> seen;
+    std::uint64_t attempts = 0;
+    const std::uint64_t attempt_limit =
+        4096 * static_cast<std::uint64_t>(options.block_size);
+    while (seen.size() < block_objects) {
+      if (++attempts > attempt_limit) {
+        return Status::ResourceExhausted(
+            "zipf concentration too high to fill a duplicate-free block; "
+            "increase values_per_block or lower theta");
+      }
+      for (auto& v : row) {
+        v = base + static_cast<ValueId>(zipf.Sample(rng));
+      }
+      if (!seen.insert(row).second) continue;
+      SKYPREF_RETURN_IF_ERROR(data.Append(row));
+    }
+    ++block;
+  }
+  return data;
+}
+
+}  // namespace skypref

@@ -1,0 +1,79 @@
+#include "src/workload/car_evaluation.h"
+
+#include <array>
+#include <string>
+#include <vector>
+
+namespace skypref {
+
+namespace {
+
+struct Attribute {
+  const char* name;
+  std::vector<const char*> values;
+};
+
+const std::array<Attribute, 6>& CarSchema() {
+  static const std::array<Attribute, 6>* schema = new std::array<Attribute, 6>{{
+      {"buying", {"vhigh", "high", "med", "low"}},
+      {"maint", {"vhigh", "high", "med", "low"}},
+      {"doors", {"2", "3", "4", "5more"}},
+      {"persons", {"2", "4", "more"}},
+      {"lug_boot", {"small", "med", "big"}},
+      {"safety", {"low", "med", "high"}},
+  }};
+  return *schema;
+}
+
+}  // namespace
+
+Domain CarEvaluationDomain() {
+  std::vector<std::string> names;
+  for (const auto& attribute : CarSchema()) names.emplace_back(attribute.name);
+  Domain domain(std::move(names));
+  for (DimensionId j = 0; j < CarSchema().size(); ++j) {
+    for (const char* value : CarSchema()[j].values) {
+      domain.InternValue(j, value).status().CheckOK();
+    }
+  }
+  return domain;
+}
+
+Result<CarEvaluationVariant> GenerateCarEvaluationProjection(
+    std::size_t dimensions) {
+  if (dimensions < 1 || dimensions > CarSchema().size()) {
+    return Status::InvalidArgument(
+        "Car Evaluation projection supports 1..6 dimensions, got " +
+        std::to_string(dimensions));
+  }
+  CarEvaluationVariant variant;
+  std::vector<std::string> names;
+  for (std::size_t j = 0; j < dimensions; ++j) {
+    names.emplace_back(CarSchema()[j].name);
+  }
+  variant.domain = Domain(std::move(names));
+  for (DimensionId j = 0; j < dimensions; ++j) {
+    for (const char* value : CarSchema()[j].values) {
+      SKYPREF_RETURN_IF_ERROR(variant.domain.InternValue(j, value).status());
+    }
+  }
+
+  variant.dataset = Dataset(dimensions);
+  std::vector<ValueId> row(dimensions, 0);
+  while (true) {
+    SKYPREF_RETURN_IF_ERROR(variant.dataset.Append(row));
+    std::size_t j = dimensions;
+    while (j > 0) {
+      --j;
+      if (++row[j] < CarSchema()[j].values.size()) break;
+      row[j] = 0;
+      if (j == 0) return variant;
+    }
+  }
+}
+
+Result<CarEvaluationVariant> GenerateCarEvaluation() {
+  return GenerateCarEvaluationProjection(CarSchema().size());
+}
+
+}  // namespace skypref

@@ -1,0 +1,41 @@
+#ifndef SKYPREF_WORKLOAD_CAR_EVALUATION_H_
+#define SKYPREF_WORKLOAD_CAR_EVALUATION_H_
+
+/// \file
+/// The UCI "Car Evaluation" dataset, regenerated offline.
+///
+/// Like Nursery (the paper's real dataset), Car Evaluation is exactly the
+/// full Cartesian product of its categorical attribute domains:
+/// 4*4*4*3*3*3 = 1,728 instances over 6 attributes (buying price,
+/// maintenance price, doors, persons, luggage boot, safety). It serves as
+/// a second real-schema workload: preferences over "low vs vhigh buying
+/// price" or "big vs small boot" genuinely vary across buyers, which is
+/// precisely the uncertain-preference model.
+
+#include "src/model/dataset.h"
+#include "src/model/domain.h"
+#include "src/util/status.h"
+
+namespace skypref {
+
+/// Attribute and value names of the Car Evaluation schema, in UCI order.
+Domain CarEvaluationDomain();
+
+struct CarEvaluationVariant {
+  Dataset dataset;
+  Domain domain;
+
+  CarEvaluationVariant() : dataset(1), domain(std::size_t{1}) {}
+};
+
+/// The full 6-attribute dataset (1,728 objects).
+Result<CarEvaluationVariant> GenerateCarEvaluation();
+
+/// The distinct projection onto the first \p dimensions attributes
+/// (1 <= dimensions <= 6).
+Result<CarEvaluationVariant> GenerateCarEvaluationProjection(
+    std::size_t dimensions);
+
+}  // namespace skypref
+
+#endif  // SKYPREF_WORKLOAD_CAR_EVALUATION_H_

@@ -1,0 +1,87 @@
+#include "src/workload/nursery.h"
+
+#include <array>
+#include <string>
+#include <vector>
+
+namespace skypref {
+
+namespace {
+
+struct Attribute {
+  const char* name;
+  std::vector<const char*> values;
+};
+
+const std::array<Attribute, 8>& NurserySchema() {
+  static const std::array<Attribute, 8>* schema = new std::array<Attribute, 8>{{
+      {"parents", {"usual", "pretentious", "great_pret"}},
+      {"has_nurs", {"proper", "less_proper", "improper", "critical",
+                    "very_crit"}},
+      {"form", {"complete", "completed", "incomplete", "foster"}},
+      {"children", {"1", "2", "3", "more"}},
+      {"housing", {"convenient", "less_conv", "critical"}},
+      {"finance", {"convenient", "inconv"}},
+      {"social", {"nonprob", "slightly_prob", "problematic"}},
+      {"health", {"recommended", "priority", "not_recom"}},
+  }};
+  return *schema;
+}
+
+}  // namespace
+
+Domain NurseryDomain() {
+  std::vector<std::string> names;
+  for (const auto& attribute : NurserySchema()) {
+    names.emplace_back(attribute.name);
+  }
+  Domain domain(std::move(names));
+  for (DimensionId j = 0; j < NurserySchema().size(); ++j) {
+    for (const char* value : NurserySchema()[j].values) {
+      domain.InternValue(j, value).status().CheckOK();
+    }
+  }
+  return domain;
+}
+
+Result<NurseryVariant> GenerateNurseryProjection(std::size_t dimensions) {
+  if (dimensions < 1 || dimensions > NurserySchema().size()) {
+    return Status::InvalidArgument(
+        "Nursery projection supports 1..8 dimensions, got " +
+        std::to_string(dimensions));
+  }
+  NurseryVariant variant;
+  std::vector<std::string> names;
+  for (std::size_t j = 0; j < dimensions; ++j) {
+    names.emplace_back(NurserySchema()[j].name);
+  }
+  variant.domain = Domain(std::move(names));
+  for (DimensionId j = 0; j < dimensions; ++j) {
+    for (const char* value : NurserySchema()[j].values) {
+      SKYPREF_RETURN_IF_ERROR(variant.domain.InternValue(j, value).status());
+    }
+  }
+
+  variant.dataset = Dataset(dimensions);
+  // Odometer over the full Cartesian product of the first `dimensions`
+  // attribute domains; every combination occurs exactly once, which is
+  // precisely the Nursery instance set (and its duplicate-free
+  // projection).
+  std::vector<ValueId> row(dimensions, 0);
+  while (true) {
+    SKYPREF_RETURN_IF_ERROR(variant.dataset.Append(row));
+    std::size_t j = dimensions;
+    while (j > 0) {
+      --j;
+      if (++row[j] < NurserySchema()[j].values.size()) break;
+      row[j] = 0;
+      if (j == 0) return variant;
+    }
+  }
+}
+
+Result<NurseryVariant> GenerateNursery() {
+  return GenerateNurseryProjection(NurserySchema().size());
+}
+
+}  // namespace skypref

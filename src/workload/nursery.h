@@ -1,0 +1,42 @@
+#ifndef SKYPREF_WORKLOAD_NURSERY_H_
+#define SKYPREF_WORKLOAD_NURSERY_H_
+
+/// \file
+/// The UCI "Nursery" dataset, regenerated offline.
+///
+/// The paper's real-data experiments (Figure 15) use Nursery: 12,960
+/// nursery-school applications over 8 categorical attributes. Nursery is
+/// exactly the full Cartesian product of its attribute domains
+/// (3*5*4*4*3*2*3*3 = 12,960), so the feature space is reproduced here
+/// verbatim without the data file; the class label plays no role in the
+/// skyline experiments, and the preferences were synthetic in the paper
+/// as well. The 4-dimensional variant is the distinct projection onto
+/// the first four attributes (3*5*4*4 = 240 objects — projection would
+/// otherwise create duplicates, which the model excludes).
+
+#include "src/model/dataset.h"
+#include "src/model/domain.h"
+#include "src/util/status.h"
+
+namespace skypref {
+
+/// Attribute and value names of the Nursery schema, in UCI order.
+Domain NurseryDomain();
+
+struct NurseryVariant {
+  Dataset dataset;
+  Domain domain;
+
+  NurseryVariant() : dataset(1), domain(std::size_t{1}) {}
+};
+
+/// The full 8-attribute dataset (12,960 objects).
+Result<NurseryVariant> GenerateNursery();
+
+/// The distinct projection onto the first \p dimensions attributes
+/// (1 <= dimensions <= 8); dimensions=8 equals GenerateNursery().
+Result<NurseryVariant> GenerateNurseryProjection(std::size_t dimensions);
+
+}  // namespace skypref
+
+#endif  // SKYPREF_WORKLOAD_NURSERY_H_

@@ -1,0 +1,42 @@
+#include "src/workload/uniform_generator.h"
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "src/util/random.h"
+
+namespace skypref {
+
+Result<Dataset> GenerateUniform(const UniformOptions& options) {
+  if (options.objects == 0 || options.dimensions == 0) {
+    return Status::InvalidArgument("need at least one object and dimension");
+  }
+  if (options.values_per_dimension < 1) {
+    return Status::InvalidArgument("need at least one value per dimension");
+  }
+  // Distinct-row capacity check: values^d >= n, computed in logs to avoid
+  // overflow.
+  double log_capacity = static_cast<double>(options.dimensions) *
+                        std::log(static_cast<double>(options.values_per_dimension));
+  if (log_capacity < std::log(static_cast<double>(options.objects))) {
+    return Status::InvalidArgument(
+        "value domain too small for " + std::to_string(options.objects) +
+        " duplicate-free objects");
+  }
+
+  Dataset data(options.dimensions);
+  Rng rng(options.seed);
+  std::set<std::vector<ValueId>> seen;
+  std::vector<ValueId> row(options.dimensions);
+  while (data.size() < options.objects) {
+    for (auto& v : row) {
+      v = static_cast<ValueId>(rng.NextBounded(options.values_per_dimension));
+    }
+    if (!seen.insert(row).second) continue;  // duplicate; redraw
+    SKYPREF_RETURN_IF_ERROR(data.Append(row));
+  }
+  return data;
+}
+
+}  // namespace skypref

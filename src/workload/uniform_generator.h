@@ -1,0 +1,33 @@
+#ifndef SKYPREF_WORKLOAD_UNIFORM_GENERATOR_H_
+#define SKYPREF_WORKLOAD_UNIFORM_GENERATOR_H_
+
+/// \file
+/// The paper's "Uniform" synthetic dataset (Table 1): attribute values
+/// generated independently and uniformly per dimension. A modest value
+/// domain (default 10 values per dimension) makes shared values — and
+/// hence dependent dominance events — common, which is the regime the
+/// paper studies.
+
+#include <cstdint>
+
+#include "src/model/dataset.h"
+#include "src/util/status.h"
+
+namespace skypref {
+
+struct UniformOptions {
+  std::size_t objects = 50;
+  std::size_t dimensions = 5;
+  /// Distinct values per dimension; must satisfy values^dimensions >=
+  /// objects so duplicate-free generation can succeed.
+  ValueId values_per_dimension = 10;
+  std::uint64_t seed = 1;
+};
+
+/// Generates a duplicate-free uniform dataset (rejection sampling on
+/// duplicate rows).
+Result<Dataset> GenerateUniform(const UniformOptions& options);
+
+}  // namespace skypref
+
+#endif  // SKYPREF_WORKLOAD_UNIFORM_GENERATOR_H_

@@ -1,0 +1,38 @@
+#include "src/workload/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace skypref {
+
+Result<ZipfDistribution> ZipfDistribution::Create(std::size_t universe,
+                                                  double theta) {
+  if (universe == 0) {
+    return Status::InvalidArgument("zipf universe must be non-empty");
+  }
+  if (theta < 0.0) {
+    return Status::InvalidArgument("zipf theta must be non-negative");
+  }
+  std::vector<double> cdf(universe);
+  double total = 0.0;
+  for (std::size_t k = 0; k < universe; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), theta);
+    cdf[k] = total;
+  }
+  for (double& entry : cdf) entry /= total;
+  cdf.back() = 1.0;  // guard against rounding
+  return ZipfDistribution(std::move(cdf), theta);
+}
+
+std::size_t ZipfDistribution::Sample(Rng& rng) const {
+  double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfDistribution::Mass(std::size_t k) const {
+  if (k >= cdf_.size()) return 0.0;
+  return k == 0 ? cdf_[0] : cdf_[k] - cdf_[k - 1];
+}
+
+}  // namespace skypref

@@ -1,0 +1,41 @@
+#ifndef SKYPREF_WORKLOAD_ZIPF_H_
+#define SKYPREF_WORKLOAD_ZIPF_H_
+
+/// \file
+/// Zipf-distributed sampling over a finite universe {0, ..., N-1}:
+/// Pr(rank k) proportional to 1 / (k+1)^theta. The paper's block-zipf
+/// workload uses theta = 1 inside each block.
+
+#include <cstddef>
+#include <vector>
+
+#include "src/util/random.h"
+#include "src/util/status.h"
+
+namespace skypref {
+
+class ZipfDistribution {
+ public:
+  /// Builds the CDF once; sampling is O(log N).
+  static Result<ZipfDistribution> Create(std::size_t universe, double theta);
+
+  std::size_t universe() const { return cdf_.size(); }
+  double theta() const { return theta_; }
+
+  /// Draws one rank in [0, universe).
+  std::size_t Sample(Rng& rng) const;
+
+  /// Probability mass of rank \p k.
+  double Mass(std::size_t k) const;
+
+ private:
+  ZipfDistribution(std::vector<double> cdf, double theta)
+      : cdf_(std::move(cdf)), theta_(theta) {}
+
+  std::vector<double> cdf_;  // cdf_[k] = Pr(rank <= k)
+  double theta_;
+};
+
+}  // namespace skypref
+
+#endif  // SKYPREF_WORKLOAD_ZIPF_H_

@@ -1,0 +1,125 @@
+#include "src/core/absorption.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "src/core/solver.h"
+#include "test_util.h"
+
+namespace skypref {
+namespace {
+
+using skypref::testing::Example1Dataset;
+using skypref::testing::RandomSmallDataset;
+using skypref::testing::UnanimousHalfRational;
+
+std::vector<ObjectId> AllBut(const Dataset& data, ObjectId target) {
+  std::vector<ObjectId> ids;
+  for (ObjectId i = 0; i < data.size(); ++i) {
+    if (i != target) ids.push_back(i);
+  }
+  return ids;
+}
+
+TEST(AbsorbsTest, Example1Q1AbsorbedByQ2) {
+  Dataset data = Example1Dataset();
+  // Q2=(1,0) differs from O on dim 0 only; Q1=(1,1) matches Q2 there.
+  EXPECT_TRUE(Absorbs(data, 0, /*absorber=*/2, /*absorbed=*/1));
+  // Not the other way round: Q1 differs from O on both dims, and Q2
+  // differs from Q1 on dim 1.
+  EXPECT_FALSE(Absorbs(data, 0, /*absorber=*/1, /*absorbed=*/2));
+  // Q3=(2,2) shares nothing.
+  EXPECT_FALSE(Absorbs(data, 0, 2, 3));
+  EXPECT_FALSE(Absorbs(data, 0, 3, 1));
+  // Self-absorption is excluded.
+  EXPECT_FALSE(Absorbs(data, 0, 2, 2));
+}
+
+TEST(AbsorptionTest, Example1DropsExactlyQ1) {
+  Dataset data = Example1Dataset();
+  AbsorptionStats stats;
+  std::vector<ObjectId> survivors =
+      AbsorbCandidates(data, 0, AllBut(data, 0), &stats);
+  EXPECT_EQ(survivors, (std::vector<ObjectId>{2, 3, 4}));
+  EXPECT_EQ(stats.input_candidates, 4u);
+  EXPECT_EQ(stats.absorbed, 1u);
+}
+
+TEST(AbsorptionTest, PreservesSkylineProbabilityExactly) {
+  Dataset data = Example1Dataset();
+  RationalPreferenceModel model = UnanimousHalfRational(data);
+  RationalOracle oracle(model);
+  std::vector<ObjectId> all = AllBut(data, 0);
+  std::vector<ObjectId> survivors = AbsorbCandidates(data, 0, all);
+  Rational before = ExactSkylineProbability(data, 0, all, oracle).value();
+  Rational after =
+      ExactSkylineProbability(data, 0, survivors, oracle).value();
+  EXPECT_EQ(before, after);
+  EXPECT_EQ(after, Rational::FromRatio(3, 16).value());
+}
+
+TEST(AbsorptionTest, TransitiveChainCollapsesInOnePass) {
+  // Qa differs from O on dim 0 only; Qb matches Qa there and differs on
+  // dim 1 too; Qc matches Qb on both differing dims. Qa absorbs Qb,
+  // Qb absorbs Qc, so Qa must absorb Qc (Corollary 1).
+  Dataset data(3);
+  data.Append({0, 0, 0}).CheckOK();  // O
+  data.Append({1, 0, 0}).CheckOK();  // Qa
+  data.Append({1, 1, 0}).CheckOK();  // Qb
+  data.Append({1, 1, 1}).CheckOK();  // Qc
+  EXPECT_TRUE(Absorbs(data, 0, 1, 2));
+  EXPECT_TRUE(Absorbs(data, 0, 2, 3));
+  EXPECT_TRUE(Absorbs(data, 0, 1, 3));  // transitivity
+  std::vector<ObjectId> survivors = AbsorbCandidates(data, 0, AllBut(data, 0));
+  EXPECT_EQ(survivors, (std::vector<ObjectId>{1}));
+}
+
+TEST(AbsorptionTest, DisjointCandidatesAreUntouched) {
+  Dataset data(2);
+  data.Append({0, 0}).CheckOK();
+  data.Append({1, 1}).CheckOK();
+  data.Append({2, 2}).CheckOK();
+  data.Append({3, 3}).CheckOK();
+  std::vector<ObjectId> survivors = AbsorbCandidates(data, 0, AllBut(data, 0));
+  EXPECT_EQ(survivors.size(), 3u);
+}
+
+TEST(AbsorptionTest, NeverDropsTheStrongestThreat) {
+  // The absorber (the candidate whose dominating event contains the
+  // others) must survive.
+  Dataset data(2);
+  data.Append({0, 0}).CheckOK();   // O
+  data.Append({1, 0}).CheckOK();   // absorber: differs on dim 0 only
+  data.Append({1, 1}).CheckOK();   // absorbed
+  data.Append({1, 2}).CheckOK();   // absorbed
+  std::vector<ObjectId> survivors = AbsorbCandidates(data, 0, AllBut(data, 0));
+  EXPECT_EQ(survivors, (std::vector<ObjectId>{1}));
+}
+
+TEST(AbsorptionTest, PropertyNeverChangesExactAnswer) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Dataset data = RandomSmallDataset(seed, 9, 2, 3);
+    RationalPreferenceModel model = UnanimousHalfRational(data);
+    RationalOracle oracle(model);
+    for (ObjectId target = 0; target < 3; ++target) {
+      std::vector<ObjectId> all = AllBut(data, target);
+      std::vector<ObjectId> survivors = AbsorbCandidates(data, target, all);
+      EXPECT_LE(survivors.size(), all.size());
+      Rational before =
+          ExactSkylineProbability(data, target, all, oracle).value();
+      Rational after =
+          ExactSkylineProbability(data, target, survivors, oracle).value();
+      EXPECT_EQ(before, after) << "seed=" << seed << " target=" << target;
+    }
+  }
+}
+
+TEST(AbsorptionTest, EmptyCandidateList) {
+  Dataset data = Example1Dataset();
+  std::vector<ObjectId> none;
+  EXPECT_TRUE(AbsorbCandidates(data, 0, none).empty());
+}
+
+}  // namespace
+}  // namespace skypref

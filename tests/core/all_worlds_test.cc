@@ -1,0 +1,144 @@
+#include "src/core/all_worlds.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/exact.h"
+#include "test_util.h"
+
+namespace skypref {
+namespace {
+
+using skypref::testing::Example1Dataset;
+using skypref::testing::Figure1Dataset;
+using skypref::testing::RandomSmallDataset;
+
+TEST(AllWorldsSampleSizeTest, GrowsWithObjectCount) {
+  EXPECT_GT(AllWorldsSampleSize(0.01, 0.01, 100),
+            AllWorldsSampleSize(0.01, 0.01, 10));
+  EXPECT_EQ(AllWorldsSampleSize(0.0, 0.01, 10), 0u);
+  EXPECT_EQ(AllWorldsSampleSize(0.01, 0.0, 10), 0u);
+  EXPECT_EQ(AllWorldsSampleSize(0.01, 0.01, 0), 0u);
+}
+
+TEST(AllWorldsTest, MatchesPerObjectExactOnFigure1) {
+  Dataset data = Figure1Dataset();
+  TablePreferenceModel model;
+  AllWorldsOptions options;
+  options.samples = 200000;
+  options.seed = 5;
+  auto all = EstimateAllSkylineProbabilities(data, model, options).value();
+  ASSERT_EQ(all.estimates.size(), 3u);
+  EXPECT_NEAR(all.estimates[0], 0.5, 0.005);   // sky(P1)
+  EXPECT_NEAR(all.estimates[1], 0.25, 0.005);  // sky(P2)
+  EXPECT_NEAR(all.estimates[2], 0.5, 0.005);   // sky(P3)
+}
+
+TEST(AllWorldsTest, MatchesPerObjectExactOnExample1) {
+  Dataset data = Example1Dataset();
+  TablePreferenceModel model;
+  AllWorldsOptions options;
+  options.samples = 100000;
+  options.seed = 17;
+  auto all = EstimateAllSkylineProbabilities(data, model, options).value();
+  for (ObjectId i = 0; i < data.size(); ++i) {
+    double truth = ExactSkylineProbability(data, i, model).value();
+    EXPECT_NEAR(all.estimates[i], truth, 0.01) << "object " << i;
+  }
+}
+
+TEST(AllWorldsTest, ConsistentWorldsAcrossObjects) {
+  // Within one world the same pair outcome is shared by all dominance
+  // checks; with incomparability mass, estimates must match exact values
+  // that the independence shortcut would get wrong.
+  Dataset data = RandomSmallDataset(23, 8, 2, 3);
+  TablePreferenceModel model;
+  model.Set(0, 0, 1, 0.4, 0.3).CheckOK();
+  model.Set(0, 0, 2, 0.2, 0.5).CheckOK();
+  model.Set(0, 1, 2, 0.6, 0.1).CheckOK();
+  model.Set(1, 0, 1, 0.3, 0.3).CheckOK();
+  model.Set(1, 0, 2, 0.5, 0.25).CheckOK();
+  model.Set(1, 1, 2, 0.45, 0.45).CheckOK();
+  AllWorldsOptions options;
+  options.samples = 150000;
+  options.seed = 29;
+  auto all = EstimateAllSkylineProbabilities(data, model, options).value();
+  for (ObjectId i = 0; i < data.size(); ++i) {
+    double truth = ExactSkylineProbability(data, i, model).value();
+    EXPECT_NEAR(all.estimates[i], truth, 0.01) << "object " << i;
+  }
+}
+
+TEST(AllWorldsTest, DeterministicPerSeed) {
+  Dataset data = Figure1Dataset();
+  TablePreferenceModel model;
+  AllWorldsOptions options;
+  options.samples = 500;
+  options.seed = 3;
+  auto a = EstimateAllSkylineProbabilities(data, model, options).value();
+  auto b = EstimateAllSkylineProbabilities(data, model, options).value();
+  EXPECT_EQ(a.estimates, b.estimates);
+}
+
+TEST(AllWorldsTest, RejectsInvalidDataAndOptions) {
+  TablePreferenceModel model;
+  Dataset empty(1);
+  EXPECT_FALSE(EstimateAllSkylineProbabilities(empty, model).ok());
+  Dataset data = Figure1Dataset();
+  AllWorldsOptions bad;
+  bad.samples = 0;
+  bad.epsilon = 0.0;
+  EXPECT_EQ(
+      EstimateAllSkylineProbabilities(data, model, bad).status().code(),
+      StatusCode::kInvalidArgument);
+}
+
+TEST(ProbabilisticSkylineTest, ThresholdFiltersObjects) {
+  Dataset data = Example1Dataset();
+  TablePreferenceModel model;
+  AllWorldsOptions options;
+  options.samples = 50000;
+  options.seed = 101;
+  // Exact values: sky(O)=3/16=0.1875. Pick tau between strata.
+  auto skyline = ProbabilisticSkyline(data, model, 0.3, options).value();
+  for (ObjectId id : skyline) {
+    double truth = ExactSkylineProbability(data, id, model).value();
+    EXPECT_GE(truth, 0.28) << "object " << id;
+  }
+  auto permissive = ProbabilisticSkyline(data, model, 0.05, options).value();
+  EXPECT_GE(permissive.size(), skyline.size());
+}
+
+TEST(ProbabilisticSkylineTest, RejectsBadThreshold) {
+  Dataset data = Figure1Dataset();
+  TablePreferenceModel model;
+  EXPECT_EQ(ProbabilisticSkyline(data, model, 0.0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ProbabilisticSkyline(data, model, 1.0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(TopKSkylineTest, RanksByEstimate) {
+  Dataset data = Example1Dataset();
+  TablePreferenceModel model;
+  AllWorldsOptions options;
+  options.samples = 50000;
+  options.seed = 13;
+  auto top = TopKSkyline(data, model, 3, options).value();
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_GE(top[0].second, top[1].second);
+  EXPECT_GE(top[1].second, top[2].second);
+}
+
+TEST(TopKSkylineTest, KLargerThanDatasetReturnsAll) {
+  Dataset data = Figure1Dataset();
+  TablePreferenceModel model;
+  AllWorldsOptions options;
+  options.samples = 1000;
+  auto top = TopKSkyline(data, model, 99, options).value();
+  EXPECT_EQ(top.size(), 3u);
+  EXPECT_EQ(TopKSkyline(data, model, 0, options).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace skypref

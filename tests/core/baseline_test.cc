@@ -1,0 +1,79 @@
+#include "src/core/independent_baseline.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/exact.h"
+#include "test_util.h"
+
+namespace skypref {
+namespace {
+
+using skypref::testing::Example1Dataset;
+using skypref::testing::Figure1Dataset;
+
+TEST(IndependentBaselineTest, Figure1ReproducesTheWrongSacValues) {
+  Dataset data = Figure1Dataset();
+  TablePreferenceModel model;
+  // Sac computes sky(P1) = (1 - 1/2)(1 - 1/4) = 3/8 — the paper's
+  // motivating counterexample (truth: 1/2).
+  EXPECT_DOUBLE_EQ(IndependentSkylineProbability(data, 0, model).value(),
+                   3.0 / 8.0);
+  EXPECT_DOUBLE_EQ(IndependentSkylineProbability(data, 2, model).value(),
+                   3.0 / 8.0);
+}
+
+TEST(IndependentBaselineTest, Figure1AgreesWhereEventsAreIndependent) {
+  Dataset data = Figure1Dataset();
+  TablePreferenceModel model;
+  // P1 and P3 share no values, so Sac is correct for sky(P2) = 1/4.
+  double sac = IndependentSkylineProbability(data, 1, model).value();
+  double truth = ExactSkylineProbability(data, 1, model).value();
+  EXPECT_DOUBLE_EQ(sac, 0.25);
+  EXPECT_DOUBLE_EQ(sac, truth);
+}
+
+TEST(IndependentBaselineTest, Example1ReproducesNineSixtyFourths) {
+  Dataset data = Example1Dataset();
+  TablePreferenceModel model;
+  EXPECT_DOUBLE_EQ(IndependentSkylineProbability(data, 0, model).value(),
+                   9.0 / 64.0);
+  EXPECT_NE(IndependentSkylineProbability(data, 0, model).value(),
+            ExactSkylineProbability(data, 0, model).value());
+}
+
+TEST(IndependentBaselineTest, ExactWhenNoValuesAreShared) {
+  // Three candidates with pairwise-disjoint non-target values: singleton
+  // partition groups, so Sac equals the exact answer (Theorem 4).
+  Dataset data(2);
+  data.Append({0, 0}).CheckOK();
+  data.Append({1, 1}).CheckOK();
+  data.Append({2, 2}).CheckOK();
+  data.Append({3, 3}).CheckOK();
+  TablePreferenceModel model;
+  double sac = IndependentSkylineProbability(data, 0, model).value();
+  double truth = ExactSkylineProbability(data, 0, model).value();
+  EXPECT_DOUBLE_EQ(sac, truth);
+  EXPECT_DOUBLE_EQ(sac, 27.0 / 64.0);  // (1 - 1/4)^3
+}
+
+TEST(IndependentBaselineTest, CandidateSubsetOverload) {
+  Dataset data = Example1Dataset();
+  TablePreferenceModel model;
+  std::vector<ObjectId> subset{2};
+  EXPECT_DOUBLE_EQ(
+      IndependentSkylineProbability(data, 0, subset, model).value(), 0.5);
+}
+
+TEST(IndependentBaselineTest, InvalidArgumentsRejected) {
+  Dataset data = Figure1Dataset();
+  TablePreferenceModel model;
+  EXPECT_EQ(IndependentSkylineProbability(data, 7, model).status().code(),
+            StatusCode::kOutOfRange);
+  std::vector<ObjectId> self{1};
+  EXPECT_EQ(
+      IndependentSkylineProbability(data, 1, self, model).status().code(),
+      StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace skypref

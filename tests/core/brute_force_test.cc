@@ -1,0 +1,112 @@
+#include "src/core/brute_force.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/exact.h"
+#include "test_util.h"
+
+namespace skypref {
+namespace {
+
+using skypref::testing::Example1Dataset;
+using skypref::testing::Figure1Dataset;
+using skypref::testing::UnanimousHalfRational;
+
+TEST(BruteForceTest, Figure1GoldenValues) {
+  Dataset data = Figure1Dataset();
+  TablePreferenceModel model;
+  EXPECT_DOUBLE_EQ(BruteForceSkylineProbability(data, 0, model).value(), 0.5);
+  EXPECT_DOUBLE_EQ(BruteForceSkylineProbability(data, 1, model).value(), 0.25);
+  EXPECT_DOUBLE_EQ(BruteForceSkylineProbability(data, 2, model).value(), 0.5);
+}
+
+TEST(BruteForceTest, Example1GoldenValue) {
+  Dataset data = Example1Dataset();
+  TablePreferenceModel model;
+  EXPECT_DOUBLE_EQ(BruteForceSkylineProbability(data, 0, model).value(),
+                   3.0 / 16.0);
+}
+
+TEST(BruteForceTest, SharedValuesCollapseToOneVariable) {
+  Dataset data = Example1Dataset();
+  TablePreferenceModel model;
+  BruteForceStats stats;
+  ASSERT_TRUE(
+      BruteForceSkylineProbability(data, 0, model, {}, &stats).ok());
+  // Distinct (dim, value) pairs vs O=(0,0): dim0 carries {1,2}, dim1
+  // carries {1,2} -> 4 variables, not the 6 per-object-dimension slots.
+  EXPECT_EQ(stats.pair_count, 4u);
+  EXPECT_EQ(stats.worlds_visited, 16u);
+}
+
+TEST(BruteForceTest, ZeroProbabilityBranchesAreSkipped) {
+  Dataset data(1);
+  data.Append({0}).CheckOK();
+  data.Append({1}).CheckOK();
+  data.Append({2}).CheckOK();
+  TablePreferenceModel model;
+  model.Set(0, 1, 0, 1.0, 0.0).CheckOK();  // candidate 1 always dominates
+  model.Set(0, 2, 0, 0.5, 0.5).CheckOK();
+  BruteForceStats stats;
+  double sky =
+      BruteForceSkylineProbability(data, 0, model, {}, &stats).value();
+  EXPECT_DOUBLE_EQ(sky, 0.0);
+  EXPECT_EQ(stats.worlds_visited, 2u);  // only the certain branch splits once
+}
+
+TEST(BruteForceTest, MatchesExactOnRationalInstanceExactly) {
+  Dataset data = Example1Dataset();
+  RationalPreferenceModel model = UnanimousHalfRational(data);
+  std::vector<ObjectId> candidates{1, 2, 3, 4};
+  RationalOracle oracle(model);
+  Rational brute =
+      BruteForceSkylineProbability(data, 0, candidates, oracle).value();
+  Rational exact =
+      ExactSkylineProbability(data, 0, candidates, oracle).value();
+  EXPECT_EQ(brute, exact);
+  EXPECT_EQ(brute, Rational::FromRatio(3, 16).value());
+}
+
+TEST(BruteForceTest, WorldBudgetIsEnforced) {
+  Dataset data(3);
+  data.Append({0, 0, 0}).CheckOK();
+  for (ValueId v = 1; v <= 7; ++v) {
+    data.Append({v, v, v}).CheckOK();
+  }
+  TablePreferenceModel model;
+  BruteForceOptions options;
+  options.max_worlds = 100;  // 21 binary variables -> ~2M worlds needed
+  EXPECT_EQ(
+      BruteForceSkylineProbability(data, 0, model, options).status().code(),
+      StatusCode::kResourceExhausted);
+}
+
+TEST(BruteForceTest, InvalidArgumentsRejected) {
+  Dataset data = Figure1Dataset();
+  TablePreferenceModel model;
+  std::vector<ObjectId> self{0};
+  EXPECT_EQ(BruteForceSkylineProbability(data, 0, self, DoubleOracle(model))
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  std::vector<ObjectId> oob{9};
+  EXPECT_EQ(BruteForceSkylineProbability(data, 0, oob, DoubleOracle(model))
+                .status()
+                .code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(BruteForceSkylineProbability(data, 9, model).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(BruteForceTest, IncomparableMassCountsAgainstDominance) {
+  Dataset data(1);
+  data.Append({0}).CheckOK();
+  data.Append({1}).CheckOK();
+  TablePreferenceModel model;
+  model.Set(0, 1, 0, 0.25, 0.25).CheckOK();
+  // O survives unless 1 < 0 is sampled: probability 3/4.
+  EXPECT_DOUBLE_EQ(BruteForceSkylineProbability(data, 0, model).value(), 0.75);
+}
+
+}  // namespace
+}  // namespace skypref

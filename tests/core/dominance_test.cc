@@ -1,0 +1,92 @@
+#include "src/core/dominance.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace skypref {
+namespace {
+
+using skypref::testing::Example1Dataset;
+using skypref::testing::Figure1Dataset;
+using skypref::testing::UnanimousHalfRational;
+
+TEST(DominanceTest, Figure1PaperValues) {
+  Dataset data = Figure1Dataset();
+  TablePreferenceModel model;  // defaults to unanimous 1/2
+  // Pr(P2 < P1) = 1/2 (differ on one dimension).
+  EXPECT_DOUBLE_EQ(DominanceProbability(data, 1, 0, model), 0.5);
+  // Pr(P3 < P1) = 1/4 (differ on both dimensions).
+  EXPECT_DOUBLE_EQ(DominanceProbability(data, 2, 0, model), 0.25);
+}
+
+TEST(DominanceTest, Example1PaperValues) {
+  Dataset data = Example1Dataset();
+  TablePreferenceModel model;
+  EXPECT_DOUBLE_EQ(DominanceProbability(data, 1, 0, model), 0.25);  // e1
+  EXPECT_DOUBLE_EQ(DominanceProbability(data, 2, 0, model), 0.5);   // e2
+  EXPECT_DOUBLE_EQ(DominanceProbability(data, 3, 0, model), 0.25);  // e3
+  EXPECT_DOUBLE_EQ(DominanceProbability(data, 4, 0, model), 0.5);   // e4
+}
+
+TEST(DominanceTest, SharedDimensionContributesFactorOne) {
+  Dataset data(3);
+  data.Append({0, 0, 0}).CheckOK();
+  data.Append({1, 0, 0}).CheckOK();  // differs only on dim 0
+  TablePreferenceModel model;
+  model.Set(0, 1, 0, 0.8, 0.2).CheckOK();
+  EXPECT_DOUBLE_EQ(DominanceProbability(data, 1, 0, model), 0.8);
+}
+
+TEST(DominanceTest, FactorsMultiplyAcrossDimensions) {
+  Dataset data(2);
+  data.Append({0, 0}).CheckOK();
+  data.Append({1, 1}).CheckOK();
+  TablePreferenceModel model;
+  model.Set(0, 1, 0, 0.5, 0.5).CheckOK();
+  model.Set(1, 1, 0, 0.3, 0.7).CheckOK();
+  EXPECT_DOUBLE_EQ(DominanceProbability(data, 1, 0, model), 0.15);
+}
+
+TEST(DominanceTest, IncomparabilityLowersDominance) {
+  Dataset data(1);
+  data.Append({0}).CheckOK();
+  data.Append({1}).CheckOK();
+  TablePreferenceModel model;
+  model.Set(0, 1, 0, 0.3, 0.3).CheckOK();  // 0.4 incomparable
+  EXPECT_DOUBLE_EQ(DominanceProbability(data, 1, 0, model), 0.3);
+  EXPECT_DOUBLE_EQ(DominanceProbability(data, 0, 1, model), 0.3);
+}
+
+TEST(DominanceTest, ZeroFactorShortCircuits) {
+  Dataset data(2);
+  data.Append({0, 0}).CheckOK();
+  data.Append({1, 1}).CheckOK();
+  TablePreferenceModel model;
+  model.Set(0, 1, 0, 0.0, 1.0).CheckOK();  // target always wins dim 0
+  EXPECT_DOUBLE_EQ(DominanceProbability(data, 1, 0, model), 0.0);
+}
+
+TEST(DominanceTest, RationalOracleMatchesDoubleOracle) {
+  Dataset data = Example1Dataset();
+  RationalPreferenceModel model = UnanimousHalfRational(data);
+  for (ObjectId i = 1; i < data.size(); ++i) {
+    Rational exact =
+        DominanceProbability(data, i, 0, RationalOracle(model));
+    double approx = DominanceProbability(data, i, 0, model);
+    EXPECT_DOUBLE_EQ(exact.ToDouble(), approx);
+  }
+}
+
+TEST(DominanceTest, CertainPreferencesGiveZeroOrOne) {
+  Dataset data(2);
+  data.Append({0, 0}).CheckOK();
+  data.Append({1, 1}).CheckOK();
+  HashedPreferenceModel model(3,
+                              HashedPreferenceModel::Style::kCertainOrder);
+  double p = DominanceProbability(data, 1, 0, model);
+  EXPECT_TRUE(p == 0.0 || p == 1.0);
+}
+
+}  // namespace
+}  // namespace skypref

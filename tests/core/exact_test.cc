@@ -1,0 +1,201 @@
+#include "src/core/exact.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/solver.h"
+#include "test_util.h"
+
+namespace skypref {
+namespace {
+
+using skypref::testing::Example1Dataset;
+using skypref::testing::Figure1Dataset;
+using skypref::testing::UnanimousHalfRational;
+
+TEST(ExactTest, Figure1ObservationGoldenValues) {
+  Dataset data = Figure1Dataset();
+  TablePreferenceModel model;
+  // The paper's counterexample: sky(P1) = 1/2, NOT the 3/8 the
+  // independent-dominance shortcut produces.
+  EXPECT_DOUBLE_EQ(ExactSkylineProbability(data, 0, model).value(), 0.5);
+  // sky(P2) = 1/4 (dominance events here happen to be independent).
+  EXPECT_DOUBLE_EQ(ExactSkylineProbability(data, 1, model).value(), 0.25);
+  // sky(P3) = 1/2 (again not 3/8).
+  EXPECT_DOUBLE_EQ(ExactSkylineProbability(data, 2, model).value(), 0.5);
+}
+
+TEST(ExactTest, Example1GoldenValue) {
+  Dataset data = Example1Dataset();
+  TablePreferenceModel model;
+  EXPECT_DOUBLE_EQ(ExactSkylineProbability(data, 0, model).value(),
+                   3.0 / 16.0);
+}
+
+TEST(ExactTest, Example1JointProbabilitiesViaSubsets) {
+  // Pr(e1 and e2 and e3) = 1/16 per the paper; evaluated by restricting
+  // the candidate set to {Q1, Q2, Q3}: sky over that subset equals
+  // 1 - P(e1 u e2 u e3), and the joint shows up in the expansion — here
+  // we check the joint directly via Eq. 6 semantics:
+  // V_dim0 = {1,2}, V_dim1 = {1,2}, each factor 1/2.
+  Dataset data = Example1Dataset();
+  RationalPreferenceModel model = UnanimousHalfRational(data);
+  std::vector<ObjectId> subset{1, 2, 3};
+  // Inclusion-exclusion over exactly this subset:
+  // sky_{Q1,Q2,Q3}(O) = 1 - (1/4+1/2+1/4) + (1/4+1/16+1/8) - 1/16 = 3/8.
+  Rational sky =
+      ExactSkylineProbability(data, 0, subset, RationalOracle(model)).value();
+  EXPECT_EQ(sky, Rational::FromRatio(3, 8).value());
+}
+
+TEST(ExactTest, Example1ExactRational) {
+  Dataset data = Example1Dataset();
+  RationalPreferenceModel model = UnanimousHalfRational(data);
+  Rational sky =
+      ExactSkylineProbabilityRational(data, 0, model, /*preprocess=*/false)
+          .value();
+  EXPECT_EQ(sky, Rational::FromRatio(3, 16).value());
+}
+
+TEST(ExactTest, SkylineOfAllExampleObjects) {
+  // Values computed independently by possible-world enumeration.
+  Dataset data = Example1Dataset();
+  TablePreferenceModel model;
+  for (ObjectId target = 0; target < data.size(); ++target) {
+    double sky = ExactSkylineProbability(data, target, model).value();
+    EXPECT_GE(sky, 0.0);
+    EXPECT_LE(sky, 1.0);
+  }
+}
+
+TEST(ExactTest, EmptyCandidateSetGivesProbabilityOne) {
+  Dataset data = Figure1Dataset();
+  TablePreferenceModel model;
+  std::vector<ObjectId> none;
+  EXPECT_DOUBLE_EQ(
+      ExactSkylineProbability(data, 0, none, DoubleOracle(model)).value(),
+      1.0);
+}
+
+TEST(ExactTest, SingleCandidateDegeneratesToEquationTwo) {
+  Dataset data = Example1Dataset();
+  TablePreferenceModel model;
+  std::vector<ObjectId> one{2};  // Q2, Pr(e2) = 1/2
+  EXPECT_DOUBLE_EQ(
+      ExactSkylineProbability(data, 0, one, DoubleOracle(model)).value(), 0.5);
+}
+
+TEST(ExactTest, CertainPreferencesMatchClassicalSkyline) {
+  // With a certain total order per dimension, sky() is 0/1 and matches a
+  // direct deterministic dominance check.
+  Dataset data(2);
+  data.Append({0, 2}).CheckOK();
+  data.Append({1, 1}).CheckOK();
+  data.Append({2, 0}).CheckOK();
+  data.Append({2, 2}).CheckOK();
+  TablePreferenceModel model;
+  // Total order: 0 < 1 < 2 on both dimensions (smaller preferred).
+  for (DimensionId j = 0; j < 2; ++j) {
+    model.Set(j, 0, 1, 1.0, 0.0).CheckOK();
+    model.Set(j, 0, 2, 1.0, 0.0).CheckOK();
+    model.Set(j, 1, 2, 1.0, 0.0).CheckOK();
+  }
+  EXPECT_DOUBLE_EQ(ExactSkylineProbability(data, 0, model).value(), 1.0);
+  EXPECT_DOUBLE_EQ(ExactSkylineProbability(data, 1, model).value(), 1.0);
+  EXPECT_DOUBLE_EQ(ExactSkylineProbability(data, 2, model).value(), 1.0);
+  // (2,2) is dominated by everything, in particular (1,1).
+  EXPECT_DOUBLE_EQ(ExactSkylineProbability(data, 3, model).value(), 0.0);
+}
+
+TEST(ExactTest, StatsCountSubsets) {
+  Dataset data = Example1Dataset();
+  TablePreferenceModel model;
+  ExactStats stats;
+  ExactOptions options;
+  options.prune_zero = false;
+  ASSERT_TRUE(
+      ExactSkylineProbability(data, 0, model, options, &stats).ok());
+  // 4 candidates -> 2^4 - 1 non-empty subsets.
+  EXPECT_EQ(stats.subsets_visited, 15u);
+}
+
+TEST(ExactTest, PruningSkipsZeroSubtrees) {
+  Dataset data(1);
+  data.Append({0}).CheckOK();
+  for (ValueId v = 1; v <= 8; ++v) {
+    Dataset* d = &data;
+    d->Append({v}).CheckOK();
+  }
+  TablePreferenceModel model;
+  // Candidate value 1 can never beat the target; its subtree dies.
+  model.Set(0, 1, 0, 0.0, 1.0).CheckOK();
+  ExactStats pruned, full;
+  ExactOptions options;
+  options.prune_zero = true;
+  double with_pruning =
+      ExactSkylineProbability(data, 0, model, options, &pruned).value();
+  options.prune_zero = false;
+  double without_pruning =
+      ExactSkylineProbability(data, 0, model, options, &full).value();
+  EXPECT_DOUBLE_EQ(with_pruning, without_pruning);
+  EXPECT_LT(pruned.subsets_visited, full.subsets_visited);
+  EXPECT_EQ(full.subsets_visited, 255u);
+}
+
+TEST(ExactTest, SubsetBudgetIsEnforced) {
+  Dataset data = Example1Dataset();
+  TablePreferenceModel model;
+  ExactOptions options;
+  options.max_subsets = 3;
+  options.prune_zero = false;
+  EXPECT_EQ(ExactSkylineProbability(data, 0, model, options).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(ExactTest, InvalidTargetsAndCandidatesRejected) {
+  Dataset data = Figure1Dataset();
+  TablePreferenceModel model;
+  EXPECT_EQ(ExactSkylineProbability(data, 99, model).status().code(),
+            StatusCode::kOutOfRange);
+  std::vector<ObjectId> bad{0};
+  EXPECT_EQ(ExactSkylineProbability(data, 0, bad, DoubleOracle(model))
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  std::vector<ObjectId> oob{42};
+  EXPECT_EQ(ExactSkylineProbability(data, 0, oob, DoubleOracle(model))
+                .status()
+                .code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(ExactTest, CandidateOrderDoesNotChangeResult) {
+  Dataset data = Example1Dataset();
+  RationalPreferenceModel model = UnanimousHalfRational(data);
+  std::vector<ObjectId> forward{1, 2, 3, 4};
+  std::vector<ObjectId> backward{4, 3, 2, 1};
+  std::vector<ObjectId> shuffled{3, 1, 4, 2};
+  RationalOracle oracle(model);
+  Rational a = ExactSkylineProbability(data, 0, forward, oracle).value();
+  Rational b = ExactSkylineProbability(data, 0, backward, oracle).value();
+  Rational c = ExactSkylineProbability(data, 0, shuffled, oracle).value();
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, c);
+}
+
+TEST(ExactTest, IncomparabilityMassRaisesSkylineProbability) {
+  Dataset data(1);
+  data.Append({0}).CheckOK();
+  data.Append({1}).CheckOK();
+  TablePreferenceModel comparable;
+  comparable.Set(0, 1, 0, 0.5, 0.5).CheckOK();
+  TablePreferenceModel often_incomparable;
+  often_incomparable.Set(0, 1, 0, 0.1, 0.1).CheckOK();
+  EXPECT_DOUBLE_EQ(ExactSkylineProbability(data, 0, comparable).value(), 0.5);
+  EXPECT_DOUBLE_EQ(
+      ExactSkylineProbability(data, 0, often_incomparable).value(), 0.9);
+}
+
+}  // namespace
+}  // namespace skypref

@@ -1,0 +1,138 @@
+#include "src/core/incremental.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/exact.h"
+#include "test_util.h"
+
+namespace skypref {
+namespace {
+
+using skypref::testing::RandomSmallDataset;
+
+TEST(IncrementalTest, StartsAtOne) {
+  TablePreferenceModel model;
+  IncrementalSkylineProbability inc({0, 0}, model);
+  EXPECT_DOUBLE_EQ(inc.probability(), 1.0);
+  EXPECT_EQ(inc.candidate_count(), 0u);
+  EXPECT_EQ(inc.group_count(), 0u);
+}
+
+TEST(IncrementalTest, ReplaysExample1InsertionByInsertion) {
+  // Inserting Q1..Q4 of the running example one at a time must track the
+  // exact prefix values; the final answer is 3/16.
+  TablePreferenceModel model;
+  IncrementalSkylineProbability inc({0, 0}, model);
+  // After Q1=(1,1): sky = 1 - 1/4 = 3/4.
+  EXPECT_DOUBLE_EQ(inc.AddCandidate({1, 1}).value(), 0.75);
+  // After Q2=(1,0): shares dim0 value 1 with Q1 -> merged group.
+  // sky over {Q1,Q2} = 1 - (1/4 + 1/2) + 1/4 = 1/2.
+  EXPECT_DOUBLE_EQ(inc.AddCandidate({1, 0}).value(), 0.5);
+  // After Q3=(2,2): independent group. sky = 1/2 * 3/4 = 3/8.
+  EXPECT_DOUBLE_EQ(inc.AddCandidate({2, 2}).value(), 3.0 / 8.0);
+  // After Q4=(0,1): shares dim1 value 1 with Q1 -> merges with {Q1,Q2}.
+  EXPECT_DOUBLE_EQ(inc.AddCandidate({0, 1}).value(), 3.0 / 16.0);
+  EXPECT_EQ(inc.group_count(), 2u);
+  EXPECT_EQ(inc.exact_solves(), 4u);
+}
+
+TEST(IncrementalTest, AbsorptionKeepsGroupsSmall) {
+  TablePreferenceModel model;
+  IncrementalSkylineProbability inc({0, 0, 0}, model);
+  // Absorber: differs from the target on dim 0 only.
+  inc.AddCandidate({1, 0, 0}).value();
+  // Both are absorbed by it (match value 1 on dim 0).
+  inc.AddCandidate({1, 2, 0}).value();
+  inc.AddCandidate({1, 0, 3}).value();
+  EXPECT_EQ(inc.candidate_count(), 1u);
+  // sky is still just 1 - Pr(absorber dominates) = 1 - 1/2.
+  EXPECT_DOUBLE_EQ(inc.probability(), 0.5);
+}
+
+TEST(IncrementalTest, AbsorbedCandidateValuesStillCoupleGroups) {
+  TablePreferenceModel model;
+  IncrementalSkylineProbability inc({0, 0}, model);
+  inc.AddCandidate({1, 0}).value();  // A: differs on dim 0 only
+  inc.AddCandidate({1, 7}).value();  // B: absorbed by A, carries value 7
+  ASSERT_EQ(inc.candidate_count(), 1u);
+  // C shares dim-1 value 7 with the ABSORBED B; the groups must merge so
+  // that a future exact solve sees the dependence.
+  inc.AddCandidate({2, 7}).value();
+  EXPECT_EQ(inc.group_count(), 1u);
+  // Reference: full recomputation over {A, B, C}.
+  Dataset data(2);
+  data.Append({0, 0}).CheckOK();
+  data.Append({1, 0}).CheckOK();
+  data.Append({1, 7}).CheckOK();
+  data.Append({2, 7}).CheckOK();
+  EXPECT_NEAR(inc.probability(),
+              ExactSkylineProbability(data, 0, model).value(), 1e-12);
+}
+
+TEST(IncrementalTest, MatchesBatchSolverOnRandomStreams) {
+  for (std::uint64_t seed = 901; seed < 913; ++seed) {
+    Dataset data = RandomSmallDataset(seed, 12, 3, 4);
+    TablePreferenceModel model;
+    std::vector<ValueId> target(data.object(0).begin(),
+                                data.object(0).end());
+    IncrementalSkylineProbability inc(target, model);
+    for (ObjectId row = 1; row < data.size(); ++row) {
+      auto incremental = inc.AddCandidate(data.object(row));
+      ASSERT_TRUE(incremental.ok());
+      // Reference over the prefix seen so far.
+      std::vector<ObjectId> prefix;
+      for (ObjectId i = 1; i <= row; ++i) prefix.push_back(i);
+      double batch = ExactSkylineProbability(data, 0, prefix,
+                                             DoubleOracle(model))
+                         .value();
+      EXPECT_NEAR(incremental.value(), batch, 1e-12)
+          << "seed=" << seed << " after row " << row;
+    }
+  }
+}
+
+TEST(IncrementalTest, RejectsDuplicatesAndBadShapes) {
+  TablePreferenceModel model;
+  IncrementalSkylineProbability inc({0, 0}, model);
+  EXPECT_EQ(inc.AddCandidate({0, 0}).status().code(),
+            StatusCode::kAlreadyExists);  // duplicates the target
+  ASSERT_TRUE(inc.AddCandidate({1, 1}).ok());
+  EXPECT_EQ(inc.AddCandidate({1, 1}).status().code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(inc.AddCandidate({1}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(inc.AddCandidate({1, 2, 3}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(IncrementalTest, BudgetFailureLeavesStateConsistent) {
+  TablePreferenceModel model;
+  ExactOptions tight;
+  tight.max_subsets = 2;  // absurdly small: any 2+-member group fails
+  IncrementalSkylineProbability inc({0, 0}, model, tight);
+  ASSERT_TRUE(inc.AddCandidate({1, 1}).ok());
+  double before = inc.probability();
+  // Shares value 1 on dim 0 -> merged group of 2 -> 3 subsets > budget.
+  EXPECT_EQ(inc.AddCandidate({1, 2}).status().code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_DOUBLE_EQ(inc.probability(), before);
+  EXPECT_EQ(inc.candidate_count(), 1u);
+  // Unrelated candidates still insert fine afterwards.
+  EXPECT_TRUE(inc.AddCandidate({5, 5}).ok());
+}
+
+TEST(IncrementalTest, GroupCountTracksPartition) {
+  TablePreferenceModel model;
+  IncrementalSkylineProbability inc({0, 0}, model);
+  inc.AddCandidate({1, 1}).value();
+  inc.AddCandidate({2, 2}).value();
+  inc.AddCandidate({3, 3}).value();
+  EXPECT_EQ(inc.group_count(), 3u);
+  // A bridging candidate touching values 1 (dim0) and 2 (dim1) merges
+  // two of them.
+  inc.AddCandidate({1, 2}).value();
+  EXPECT_EQ(inc.group_count(), 2u);
+}
+
+}  // namespace
+}  // namespace skypref

@@ -1,0 +1,144 @@
+#include "src/core/lineage_dp.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/exact.h"
+#include "src/core/solver.h"
+#include "src/workload/uniform_generator.h"
+#include "test_util.h"
+
+namespace skypref {
+namespace {
+
+using skypref::testing::Example1Dataset;
+using skypref::testing::Figure1Dataset;
+using skypref::testing::RandomSmallDataset;
+
+std::vector<ObjectId> AllBut(const Dataset& data, ObjectId target) {
+  std::vector<ObjectId> ids;
+  for (ObjectId i = 0; i < data.size(); ++i) {
+    if (i != target) ids.push_back(i);
+  }
+  return ids;
+}
+
+TEST(LineageDpTest, PaperGoldenValues) {
+  Dataset fig1 = Figure1Dataset();
+  Dataset ex1 = Example1Dataset();
+  TablePreferenceModel model;
+  EXPECT_DOUBLE_EQ(
+      LineageExactSkylineProbability(fig1, 0, AllBut(fig1, 0), model).value(),
+      0.5);
+  EXPECT_DOUBLE_EQ(
+      LineageExactSkylineProbability(ex1, 0, AllBut(ex1, 0), model).value(),
+      3.0 / 16.0);
+}
+
+TEST(LineageDpTest, MatchesInclusionExclusionOnRandomInstances) {
+  for (std::uint64_t seed = 1001; seed < 1021; ++seed) {
+    Dataset data = RandomSmallDataset(seed, 11, 3, 4);
+    TablePreferenceModel model;
+    for (ObjectId target = 0; target < 3; ++target) {
+      double subset_dfs =
+          ExactSkylineProbability(data, target, model).value();
+      double lineage = LineageExactSkylineProbability(
+                           data, target, AllBut(data, target), model)
+                           .value();
+      EXPECT_NEAR(lineage, subset_dfs, 1e-12)
+          << "seed=" << seed << " target=" << target;
+    }
+  }
+}
+
+TEST(LineageDpTest, PreprocessedVariantMatchesDetPlus) {
+  Dataset data = RandomSmallDataset(31, 14, 3, 4);
+  TablePreferenceModel model;
+  auto solver = SkylineSolver::Create(data, model).value();
+  for (ObjectId target = 0; target < 4; ++target) {
+    EXPECT_NEAR(
+        LineageExactWithPreprocessing(data, target, model).value(),
+        solver.Exact(target).value(), 1e-12);
+  }
+}
+
+TEST(LineageDpTest, SolvesUniformFiftyWhereSubsetDfsCannot) {
+  // n=50, d=5, 10 values/dim: 2^49 subsets for Algorithm 1; at most 45
+  // shared variables for the lineage DP. This must finish fast and agree
+  // with a Monte-Carlo cross-check.
+  UniformOptions gen;
+  gen.objects = 50;
+  gen.dimensions = 5;
+  gen.values_per_dimension = 10;
+  gen.seed = 77;
+  Dataset data = GenerateUniform(gen).value();
+  HashedPreferenceModel model(9, HashedPreferenceModel::Style::kTotalUniform);
+
+  LineageDpStats stats;
+  double exact =
+      LineageExactWithPreprocessing(data, 0, model, {}, &stats).value();
+  EXPECT_GE(exact, 0.0);
+  EXPECT_LE(exact, 1.0);
+  EXPECT_LE(stats.variables, 45u);
+
+  MonteCarloOptions mc;
+  mc.samples = 200000;
+  mc.seed = 4;
+  auto estimate = MonteCarloSkylineProbability(data, 0, model, mc).value();
+  EXPECT_NEAR(exact, estimate.estimate, 0.01);
+}
+
+TEST(LineageDpTest, CertainPreferencesShortCircuit) {
+  Dataset data(2);
+  data.Append({0, 0}).CheckOK();
+  data.Append({1, 1}).CheckOK();
+  data.Append({2, 2}).CheckOK();
+  TablePreferenceModel model;
+  model.Set(0, 1, 0, 1.0, 0.0).CheckOK();
+  model.Set(1, 1, 0, 1.0, 0.0).CheckOK();  // candidate 1 always dominates
+  model.Set(0, 2, 0, 0.0, 1.0).CheckOK();  // candidate 2 never does
+  model.Set(1, 2, 0, 0.5, 0.5).CheckOK();
+  EXPECT_DOUBLE_EQ(
+      LineageExactSkylineProbability(data, 0, AllBut(data, 0), model).value(),
+      0.0);
+}
+
+TEST(LineageDpTest, StateBudgetIsEnforced) {
+  Dataset data = RandomSmallDataset(3, 20, 3, 6);
+  TablePreferenceModel model;
+  LineageDpOptions tight;
+  tight.max_states = 2;
+  auto result = LineageExactSkylineProbability(data, 0, AllBut(data, 0),
+                                               model, tight);
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(LineageDpTest, RejectsOversizedAndInvalidInputs) {
+  Dataset data(1);
+  for (ValueId v = 0; v < 70; ++v) data.Append({v}).CheckOK();
+  TablePreferenceModel model;
+  EXPECT_EQ(LineageExactSkylineProbability(data, 0, AllBut(data, 0), model)
+                .status()
+                .code(),
+            StatusCode::kResourceExhausted);  // 69 candidates > 64
+  Dataset small = Example1Dataset();
+  std::vector<ObjectId> self{0};
+  EXPECT_EQ(LineageExactSkylineProbability(small, 0, self, model)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(LineageExactSkylineProbability(small, 9, {}, model)
+                .status()
+                .code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(LineageDpTest, EmptyCandidateListIsOne) {
+  Dataset data = Example1Dataset();
+  TablePreferenceModel model;
+  std::vector<ObjectId> none;
+  EXPECT_DOUBLE_EQ(
+      LineageExactSkylineProbability(data, 0, none, model).value(), 1.0);
+}
+
+}  // namespace
+}  // namespace skypref

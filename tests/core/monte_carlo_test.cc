@@ -1,0 +1,186 @@
+#include "src/core/monte_carlo.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/core/exact.h"
+#include "test_util.h"
+
+namespace skypref {
+namespace {
+
+using skypref::testing::Example1Dataset;
+using skypref::testing::Figure1Dataset;
+using skypref::testing::RandomSmallDataset;
+
+TEST(HoeffdingTest, PaperSampleSize) {
+  // The paper: for epsilon = delta = 0.01 the bound demands 26,492 samples.
+  EXPECT_EQ(HoeffdingSampleSize(0.01, 0.01), 26492u);
+}
+
+TEST(HoeffdingTest, ShrinksWithLooserRequirements) {
+  EXPECT_LT(HoeffdingSampleSize(0.05, 0.05), HoeffdingSampleSize(0.01, 0.01));
+  EXPECT_EQ(HoeffdingSampleSize(-1.0, 0.5), 0u);
+  EXPECT_EQ(HoeffdingSampleSize(0.1, 0.0), 0u);
+}
+
+TEST(MonteCarloTest, ConvergesToFigure1Truth) {
+  Dataset data = Figure1Dataset();
+  TablePreferenceModel model;
+  MonteCarloOptions options;
+  options.samples = 200000;
+  options.seed = 12;
+  auto result = MonteCarloSkylineProbability(data, 0, model, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->estimate, 0.5, 0.005);
+  EXPECT_EQ(result->samples, 200000u);
+}
+
+TEST(MonteCarloTest, ConvergesToExample1Truth) {
+  Dataset data = Example1Dataset();
+  TablePreferenceModel model;
+  MonteCarloOptions options;
+  options.samples = 200000;
+  options.seed = 34;
+  auto result = MonteCarloSkylineProbability(data, 0, model, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->estimate, 3.0 / 16.0, 0.005);
+  // Crucially NOT the independent baseline's 9/64 = 0.1406: the sampler
+  // shares value-pair outcomes across candidates within a world.
+  EXPECT_GT(result->estimate, 0.17);
+}
+
+TEST(MonteCarloTest, DeterministicPerSeed) {
+  Dataset data = Example1Dataset();
+  TablePreferenceModel model;
+  MonteCarloOptions options;
+  options.samples = 1000;
+  options.seed = 7;
+  auto a = MonteCarloSkylineProbability(data, 0, model, options);
+  auto b = MonteCarloSkylineProbability(data, 0, model, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->skyline_worlds, b->skyline_worlds);
+  options.seed = 8;
+  auto c = MonteCarloSkylineProbability(data, 0, model, options);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(a->skyline_worlds, c->skyline_worlds);
+}
+
+TEST(MonteCarloTest, EpsilonDeltaDrivesSampleCount) {
+  Dataset data = Figure1Dataset();
+  TablePreferenceModel model;
+  MonteCarloOptions options;
+  options.epsilon = 0.05;
+  options.delta = 0.1;
+  auto result = MonteCarloSkylineProbability(data, 0, model, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->samples, HoeffdingSampleSize(0.05, 0.1));
+  EXPECT_NEAR(result->estimate, 0.5, 0.05);
+}
+
+TEST(MonteCarloTest, LazySamplingDrawsFewerPairs) {
+  Dataset data = RandomSmallDataset(5, 30, 3, 4);
+  TablePreferenceModel model;
+  MonteCarloOptions lazy;
+  lazy.samples = 2000;
+  lazy.seed = 9;
+  lazy.lazy = true;
+  MonteCarloOptions eager = lazy;
+  eager.lazy = false;
+  auto lazy_result = MonteCarloSkylineProbability(data, 0, model, lazy);
+  auto eager_result = MonteCarloSkylineProbability(data, 0, model, eager);
+  ASSERT_TRUE(lazy_result.ok());
+  ASSERT_TRUE(eager_result.ok());
+  EXPECT_LT(lazy_result->pair_draws, eager_result->pair_draws);
+}
+
+TEST(MonteCarloTest, LazyAndEagerConvergeToTheSameValue) {
+  Dataset data = RandomSmallDataset(6, 10, 2, 4);
+  TablePreferenceModel model;
+  double truth = ExactSkylineProbability(data, 0, model).value();
+  for (bool lazy : {true, false}) {
+    MonteCarloOptions options;
+    options.samples = 100000;
+    options.seed = 21;
+    options.lazy = lazy;
+    auto result = MonteCarloSkylineProbability(data, 0, model, options);
+    ASSERT_TRUE(result.ok());
+    EXPECT_NEAR(result->estimate, truth, 0.01) << "lazy=" << lazy;
+  }
+}
+
+TEST(MonteCarloTest, SortingIsAPerformanceNotCorrectnessKnob) {
+  Dataset data = RandomSmallDataset(8, 12, 2, 4);
+  TablePreferenceModel model;
+  double truth = ExactSkylineProbability(data, 0, model).value();
+  for (bool sorted : {true, false}) {
+    MonteCarloOptions options;
+    options.samples = 100000;
+    options.seed = 4;
+    options.sort_by_dominance = sorted;
+    auto result = MonteCarloSkylineProbability(data, 0, model, options);
+    ASSERT_TRUE(result.ok());
+    EXPECT_NEAR(result->estimate, truth, 0.01) << "sorted=" << sorted;
+  }
+}
+
+TEST(MonteCarloTest, CertainPreferencesGiveExactAnswerEveryWorld) {
+  Dataset data(2);
+  data.Append({0, 0}).CheckOK();
+  data.Append({1, 1}).CheckOK();
+  TablePreferenceModel model;
+  model.Set(0, 1, 0, 1.0, 0.0).CheckOK();
+  model.Set(1, 1, 0, 1.0, 0.0).CheckOK();
+  MonteCarloOptions options;
+  options.samples = 100;
+  auto result = MonteCarloSkylineProbability(data, 0, model, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->estimate, 0.0);
+  auto other = MonteCarloSkylineProbability(data, 1, model, options);
+  ASSERT_TRUE(other.ok());
+  EXPECT_DOUBLE_EQ(other->estimate, 1.0);
+}
+
+TEST(MonteCarloTest, HoeffdingBoundHoldsAcrossSeeds) {
+  Dataset data = RandomSmallDataset(10, 8, 2, 3);
+  TablePreferenceModel model;
+  double truth = ExactSkylineProbability(data, 0, model).value();
+  const double epsilon = 0.05;
+  const double delta = 0.01;
+  int violations = 0;
+  const int runs = 40;
+  for (int seed = 0; seed < runs; ++seed) {
+    MonteCarloOptions options;
+    options.epsilon = epsilon;
+    options.delta = delta;
+    options.seed = static_cast<std::uint64_t>(seed) + 1;
+    auto result = MonteCarloSkylineProbability(data, 0, model, options);
+    ASSERT_TRUE(result.ok());
+    if (std::abs(result->estimate - truth) >= epsilon) ++violations;
+  }
+  // Expected violations: <= delta * runs = 0.4; allow generous slack.
+  EXPECT_LE(violations, 2);
+}
+
+TEST(MonteCarloTest, InvalidArgumentsRejected) {
+  Dataset data = Figure1Dataset();
+  TablePreferenceModel model;
+  MonteCarloOptions bad;
+  bad.samples = 0;
+  bad.epsilon = 0.0;
+  EXPECT_EQ(MonteCarloSkylineProbability(data, 0, model, bad).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      MonteCarloSkylineProbability(data, 42, model, {}).status().code(),
+      StatusCode::kOutOfRange);
+  std::vector<ObjectId> self{0};
+  EXPECT_EQ(MonteCarloSkylineProbability(data, 0, self, model, {})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace skypref

@@ -1,0 +1,156 @@
+#include "src/core/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/exact.h"
+#include "src/workload/block_zipf_generator.h"
+#include "test_util.h"
+
+namespace skypref {
+namespace {
+
+using skypref::testing::Example1Dataset;
+using skypref::testing::RandomSmallDataset;
+
+TEST(ParallelExactTest, MatchesSerialDetPlus) {
+  Dataset data = RandomSmallDataset(41, 14, 3, 4);
+  TablePreferenceModel model;
+  auto solver = SkylineSolver::Create(data, model).value();
+  ThreadPool pool(4);
+  for (ObjectId target = 0; target < 5; ++target) {
+    double serial = solver.Exact(target).value();
+    double parallel =
+        ParallelExactSkylineProbability(data, target, model, pool).value();
+    EXPECT_NEAR(parallel, serial, 1e-12) << "target " << target;
+  }
+}
+
+TEST(ParallelExactTest, ZeroThreadPoolIsIdentical) {
+  Dataset data = Example1Dataset();
+  TablePreferenceModel model;
+  ThreadPool inline_pool(0);
+  EXPECT_DOUBLE_EQ(
+      ParallelExactSkylineProbability(data, 0, model, inline_pool).value(),
+      3.0 / 16.0);
+}
+
+TEST(ParallelExactTest, GroupBudgetErrorsPropagate) {
+  // A chained group of three candidates that absorption cannot shrink:
+  // (1,1)-(1,2) share dim-0 value 1, (1,2)-(3,2) share dim-1 value 2.
+  Dataset data(2);
+  data.Append({0, 0}).CheckOK();
+  data.Append({1, 1}).CheckOK();
+  data.Append({1, 2}).CheckOK();
+  data.Append({3, 2}).CheckOK();
+  TablePreferenceModel model;
+  ThreadPool pool(2);
+  ExactOptions tight;
+  tight.max_subsets = 1;  // the 3-member group needs 7 subsets
+  auto result =
+      ParallelExactSkylineProbability(data, 0, model, pool, tight);
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ParallelMonteCarloTest, ThreadCountDoesNotChangeTheEstimate) {
+  Dataset data = RandomSmallDataset(43, 10, 2, 4);
+  TablePreferenceModel model;
+  MonteCarloOptions options;
+  options.samples = 20000;
+  options.seed = 17;
+  ThreadPool pool0(0), pool2(2), pool6(6);
+  auto a =
+      ParallelMonteCarloSkylineProbability(data, 0, model, pool0, options);
+  auto b =
+      ParallelMonteCarloSkylineProbability(data, 0, model, pool2, options);
+  auto c =
+      ParallelMonteCarloSkylineProbability(data, 0, model, pool6, options);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->skyline_worlds, b->skyline_worlds);
+  EXPECT_EQ(a->skyline_worlds, c->skyline_worlds);
+  EXPECT_EQ(a->samples, 20000u);
+}
+
+TEST(ParallelMonteCarloTest, ConvergesToExact) {
+  Dataset data = Example1Dataset();
+  TablePreferenceModel model;
+  ThreadPool pool(4);
+  MonteCarloOptions options;
+  options.samples = 150000;
+  options.seed = 23;
+  auto result =
+      ParallelMonteCarloSkylineProbability(data, 0, model, pool, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->estimate, 3.0 / 16.0, 0.01);
+}
+
+TEST(ParallelMonteCarloTest, ChunkCountIsPartOfTheContract) {
+  // Different chunk counts legitimately produce different (but equally
+  // valid) estimates; the same chunk count always reproduces.
+  Dataset data = Example1Dataset();
+  TablePreferenceModel model;
+  ThreadPool pool(3);
+  MonteCarloOptions options;
+  options.samples = 5000;
+  ParallelOptions chunks16;
+  chunks16.sample_chunks = 16;
+  auto a = ParallelMonteCarloSkylineProbability(data, 0, model, pool,
+                                                options, chunks16);
+  auto b = ParallelMonteCarloSkylineProbability(data, 0, model, pool,
+                                                options, chunks16);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->skyline_worlds, b->skyline_worlds);
+  ParallelOptions bad;
+  bad.sample_chunks = 0;
+  EXPECT_EQ(ParallelMonteCarloSkylineProbability(data, 0, model, pool,
+                                                 options, bad)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ParallelAllWorldsTest, ThreadCountInvariantAndAccurate) {
+  BlockZipfOptions gen;
+  gen.objects = 60;
+  gen.dimensions = 2;
+  gen.block_size = 6;
+  gen.values_per_block = 4;
+  gen.seed = 3;
+  Dataset data = GenerateBlockZipf(gen).value();
+  HashedPreferenceModel base(7, HashedPreferenceModel::Style::kTotalUniform);
+  BlockLocalPreferenceModel prefs(base, 4);
+
+  AllWorldsOptions options;
+  options.samples = 40000;
+  options.seed = 11;
+  ThreadPool pool0(0), pool4(4);
+  auto serial = ParallelEstimateAllSkylineProbabilities(data, prefs, pool0,
+                                                        options);
+  auto parallel = ParallelEstimateAllSkylineProbabilities(data, prefs, pool4,
+                                                          options);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_EQ(serial->estimates, parallel->estimates);
+
+  auto solver = SkylineSolver::Create(data, prefs).value();
+  for (ObjectId i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(parallel->estimates[i], solver.Exact(i).value(), 0.015)
+        << "object " << i;
+  }
+}
+
+TEST(ParallelAllWorldsTest, RejectsInvalidInputs) {
+  Dataset data = Example1Dataset();
+  TablePreferenceModel model;
+  ThreadPool pool(2);
+  AllWorldsOptions zero;
+  zero.samples = 0;
+  zero.epsilon = 0.0;
+  EXPECT_EQ(
+      ParallelEstimateAllSkylineProbabilities(data, model, pool, zero)
+          .status()
+          .code(),
+      StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace skypref

@@ -1,0 +1,122 @@
+#include "src/core/partition.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/absorption.h"
+#include "src/core/solver.h"
+#include "test_util.h"
+
+namespace skypref {
+namespace {
+
+using skypref::testing::Example1Dataset;
+using skypref::testing::RandomSmallDataset;
+using skypref::testing::UnanimousHalfRational;
+
+std::vector<ObjectId> AllBut(const Dataset& data, ObjectId target) {
+  std::vector<ObjectId> ids;
+  for (ObjectId i = 0; i < data.size(); ++i) {
+    if (i != target) ids.push_back(i);
+  }
+  return ids;
+}
+
+TEST(PartitionTest, Example1AfterAbsorptionGivesThreeSingletons) {
+  Dataset data = Example1Dataset();
+  std::vector<ObjectId> survivors =
+      AbsorbCandidates(data, 0, AllBut(data, 0));
+  auto groups = PartitionCandidates(data, 0, survivors);
+  ASSERT_EQ(groups.size(), 3u);
+  for (const auto& group : groups) EXPECT_EQ(group.size(), 1u);
+}
+
+TEST(PartitionTest, Example1WithoutAbsorptionCouplesQ1Q2Q4) {
+  // Q1=(1,1) shares dim0-value 1 with Q2 and dim1-value 1 with Q4.
+  Dataset data = Example1Dataset();
+  auto groups = PartitionCandidates(data, 0, AllBut(data, 0));
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0], (std::vector<ObjectId>{1, 2, 4}));
+  EXPECT_EQ(groups[1], (std::vector<ObjectId>{3}));
+}
+
+TEST(PartitionTest, ValuesEqualToTargetDoNotCouple) {
+  // Both candidates carry the target's own value on dim 1; that value
+  // contributes factor 1 and must not join the groups.
+  Dataset data(2);
+  data.Append({0, 5}).CheckOK();  // O
+  data.Append({1, 5}).CheckOK();
+  data.Append({2, 5}).CheckOK();
+  auto groups = PartitionCandidates(data, 0, AllBut(data, 0));
+  EXPECT_EQ(groups.size(), 2u);
+}
+
+TEST(PartitionTest, SharedNonTargetValueCouples) {
+  Dataset data(2);
+  data.Append({0, 0}).CheckOK();  // O
+  data.Append({1, 1}).CheckOK();
+  data.Append({1, 2}).CheckOK();  // shares dim0-value 1
+  data.Append({3, 3}).CheckOK();
+  auto groups = PartitionCandidates(data, 0, AllBut(data, 0));
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0], (std::vector<ObjectId>{1, 2}));
+  EXPECT_EQ(groups[1], (std::vector<ObjectId>{3}));
+}
+
+TEST(PartitionTest, SameValueIdOnDifferentDimensionsDoesNotCouple) {
+  // ValueIds are dimension-local: value 7 on dim 0 and value 7 on dim 1
+  // are unrelated.
+  Dataset data(2);
+  data.Append({0, 0}).CheckOK();
+  data.Append({7, 1}).CheckOK();
+  data.Append({2, 7}).CheckOK();
+  auto groups = PartitionCandidates(data, 0, AllBut(data, 0));
+  EXPECT_EQ(groups.size(), 2u);
+}
+
+TEST(PartitionTest, TransitiveCoupling) {
+  Dataset data(2);
+  data.Append({0, 0}).CheckOK();  // O
+  data.Append({1, 1}).CheckOK();  // A
+  data.Append({1, 2}).CheckOK();  // B shares dim0 with A
+  data.Append({3, 2}).CheckOK();  // C shares dim1 with B
+  auto groups = PartitionCandidates(data, 0, AllBut(data, 0));
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].size(), 3u);
+}
+
+TEST(PartitionTest, ProductOfGroupsEqualsWholeExactly) {
+  for (std::uint64_t seed = 31; seed <= 45; ++seed) {
+    Dataset data = RandomSmallDataset(seed, 10, 3, 4);
+    RationalPreferenceModel model = UnanimousHalfRational(data);
+    RationalOracle oracle(model);
+    std::vector<ObjectId> all = AllBut(data, 0);
+    Rational whole = ExactSkylineProbability(data, 0, all, oracle).value();
+    Rational product(1);
+    for (const auto& group : PartitionCandidates(data, 0, all)) {
+      product =
+          product * ExactSkylineProbability(data, 0, group, oracle).value();
+    }
+    EXPECT_EQ(whole, product) << "seed=" << seed;
+  }
+}
+
+TEST(PartitionTest, GroupsCoverAllCandidatesExactlyOnce) {
+  Dataset data = RandomSmallDataset(77, 20, 3, 5);
+  std::vector<ObjectId> all = AllBut(data, 0);
+  auto groups = PartitionCandidates(data, 0, all);
+  std::vector<ObjectId> flattened;
+  for (const auto& group : groups) {
+    flattened.insert(flattened.end(), group.begin(), group.end());
+  }
+  std::sort(flattened.begin(), flattened.end());
+  EXPECT_EQ(flattened, all);
+}
+
+TEST(PartitionTest, EmptyCandidates) {
+  Dataset data = Example1Dataset();
+  std::vector<ObjectId> none;
+  EXPECT_TRUE(PartitionCandidates(data, 0, none).empty());
+}
+
+}  // namespace
+}  // namespace skypref

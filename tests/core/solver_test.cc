@@ -1,0 +1,188 @@
+#include "src/core/solver.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace skypref {
+namespace {
+
+using skypref::testing::Example1Dataset;
+using skypref::testing::Figure1Dataset;
+using skypref::testing::RandomSmallDataset;
+using skypref::testing::UnanimousHalfRational;
+
+TEST(SolverTest, CreateValidatesDataset) {
+  TablePreferenceModel model;
+  Dataset empty(2);
+  EXPECT_EQ(SkylineSolver::Create(empty, model).status().code(),
+            StatusCode::kFailedPrecondition);
+  Dataset dup(1);
+  dup.Append({1}).CheckOK();
+  dup.Append({1}).CheckOK();
+  EXPECT_EQ(SkylineSolver::Create(dup, model).status().code(),
+            StatusCode::kFailedPrecondition);
+  Dataset ok = Figure1Dataset();
+  EXPECT_TRUE(SkylineSolver::Create(ok, model).ok());
+}
+
+TEST(SolverTest, DetAndDetPlusAgreeOnExample1) {
+  Dataset data = Example1Dataset();
+  TablePreferenceModel model;
+  auto solver = SkylineSolver::Create(data, model).value();
+  SolverOptions plain;
+  plain.preprocess = false;
+  SolverOptions plus;
+  plus.preprocess = true;
+  EXPECT_DOUBLE_EQ(solver.Exact(0, plain).value(), 3.0 / 16.0);
+  EXPECT_DOUBLE_EQ(solver.Exact(0, plus).value(), 3.0 / 16.0);
+}
+
+TEST(SolverTest, DetPlusStatsShowAbsorptionAndPartition) {
+  Dataset data = Example1Dataset();
+  TablePreferenceModel model;
+  auto solver = SkylineSolver::Create(data, model).value();
+  SolveStats stats;
+  SolverOptions options;
+  options.preprocess = true;
+  ASSERT_TRUE(solver.Exact(0, options, &stats).ok());
+  EXPECT_EQ(stats.candidates, 4u);
+  EXPECT_EQ(stats.after_absorption, 3u);   // Q1 absorbed
+  EXPECT_EQ(stats.groups, 3u);             // three singletons
+  EXPECT_EQ(stats.largest_group, 1u);
+  EXPECT_EQ(stats.subsets_visited, 3u);    // one subset per singleton
+}
+
+TEST(SolverTest, DetStatsWithoutPreprocess) {
+  Dataset data = Example1Dataset();
+  TablePreferenceModel model;
+  auto solver = SkylineSolver::Create(data, model).value();
+  SolveStats stats;
+  SolverOptions options;
+  options.preprocess = false;
+  options.exact.prune_zero = false;
+  ASSERT_TRUE(solver.Exact(0, options, &stats).ok());
+  EXPECT_EQ(stats.groups, 1u);
+  EXPECT_EQ(stats.largest_group, 4u);
+  EXPECT_EQ(stats.subsets_visited, 15u);
+}
+
+TEST(SolverTest, SamAndSamPlusConvergeToTruth) {
+  Dataset data = Example1Dataset();
+  TablePreferenceModel model;
+  auto solver = SkylineSolver::Create(data, model).value();
+  for (bool preprocess : {false, true}) {
+    SolverOptions options;
+    options.preprocess = preprocess;
+    options.monte_carlo.samples = 100000;
+    options.monte_carlo.seed = 3;
+    double estimate = solver.MonteCarlo(0, options).value();
+    EXPECT_NEAR(estimate, 3.0 / 16.0, 0.01) << "preprocess=" << preprocess;
+  }
+}
+
+TEST(SolverTest, SamPlusHandlesSingletonGroupsExactly) {
+  // After preprocessing, Example 1 is all singletons: Sam+ becomes fully
+  // exact and needs zero samples.
+  Dataset data = Example1Dataset();
+  TablePreferenceModel model;
+  auto solver = SkylineSolver::Create(data, model).value();
+  SolveStats stats;
+  SolverOptions options;
+  options.preprocess = true;
+  double estimate = solver.MonteCarlo(0, options, &stats).value();
+  EXPECT_DOUBLE_EQ(estimate, 3.0 / 16.0);
+  EXPECT_EQ(stats.samples_drawn, 0u);
+}
+
+TEST(SolverTest, IndependentBaselineAccessor) {
+  Dataset data = Example1Dataset();
+  TablePreferenceModel model;
+  auto solver = SkylineSolver::Create(data, model).value();
+  EXPECT_DOUBLE_EQ(solver.Independent(0).value(), 9.0 / 64.0);
+}
+
+TEST(SolverTest, AllTargetsDetEqualsDetPlus) {
+  for (std::uint64_t seed = 100; seed < 112; ++seed) {
+    Dataset data = RandomSmallDataset(seed, 10, 3, 4);
+    TablePreferenceModel model;
+    auto solver = SkylineSolver::Create(data, model).value();
+    SolverOptions plain;
+    plain.preprocess = false;
+    SolverOptions plus;
+    plus.preprocess = true;
+    for (ObjectId target = 0; target < data.size(); ++target) {
+      double det = solver.Exact(target, plain).value();
+      double det_plus = solver.Exact(target, plus).value();
+      EXPECT_NEAR(det, det_plus, 1e-12)
+          << "seed=" << seed << " target=" << target;
+    }
+  }
+}
+
+TEST(SolverTest, RationalHelperWithAndWithoutPreprocess) {
+  Dataset data = Example1Dataset();
+  RationalPreferenceModel model = UnanimousHalfRational(data);
+  Rational plain =
+      ExactSkylineProbabilityRational(data, 0, model, false).value();
+  Rational plus =
+      ExactSkylineProbabilityRational(data, 0, model, true).value();
+  EXPECT_EQ(plain, plus);
+  EXPECT_EQ(plain, Rational::FromRatio(3, 16).value());
+}
+
+TEST(SolverTest, OutOfRangeTargets) {
+  Dataset data = Figure1Dataset();
+  TablePreferenceModel model;
+  auto solver = SkylineSolver::Create(data, model).value();
+  EXPECT_EQ(solver.Exact(3).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(solver.MonteCarlo(3).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(solver.Independent(3).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(
+      ExactSkylineProbabilityRational(data, 3, RationalPreferenceModel())
+          .status()
+          .code(),
+      StatusCode::kOutOfRange);
+}
+
+TEST(SolverTest, ExactBudgetPropagatesFromOptions) {
+  Dataset data = RandomSmallDataset(7, 14, 2, 4);
+  TablePreferenceModel model;
+  auto solver = SkylineSolver::Create(data, model).value();
+  SolverOptions options;
+  options.preprocess = false;
+  options.exact.max_subsets = 10;
+  options.exact.prune_zero = false;
+  EXPECT_EQ(solver.Exact(0, options).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(SolverTest, OneDimensionalDataIsLinearViaPartition) {
+  // The paper notes d = 1 is computable in O(n): all values are distinct,
+  // so dominance events are independent. Det+ recovers this for free —
+  // partition yields only singleton groups, one subset each.
+  Dataset data(1);
+  for (ValueId v = 0; v < 40; ++v) data.Append({v}).CheckOK();
+  HashedPreferenceModel model(5,
+                              HashedPreferenceModel::Style::kTotalUniform);
+  auto solver = SkylineSolver::Create(data, model).value();
+  SolveStats stats;
+  double sky = solver.Exact(0, {}, &stats).value();
+  EXPECT_EQ(stats.groups, 39u);
+  EXPECT_EQ(stats.largest_group, 1u);
+  EXPECT_EQ(stats.subsets_visited, 39u);  // one per candidate: linear
+  // And it equals the independent product, which IS exact here.
+  EXPECT_NEAR(sky, solver.Independent(0).value(), 1e-12);
+}
+
+TEST(SolverTest, SingleObjectDatasetIsAlwaysSkyline) {
+  Dataset data(2);
+  data.Append({3, 4}).CheckOK();
+  TablePreferenceModel model;
+  auto solver = SkylineSolver::Create(data, model).value();
+  EXPECT_DOUBLE_EQ(solver.Exact(0).value(), 1.0);
+  EXPECT_DOUBLE_EQ(solver.MonteCarlo(0).value(), 1.0);
+}
+
+}  // namespace
+}  // namespace skypref

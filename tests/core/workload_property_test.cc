@@ -1,0 +1,137 @@
+/// Parameterized end-to-end sweep across workload generators: for every
+/// (generator, n, d, preference style) configuration small enough to
+/// solve exactly, all solver paths must agree:
+///
+///   Det == Det+ == incremental replay   (1e-12)
+///   Sam within sampling tolerance of Det
+///   Bonferroni interval contains Det
+///   independent baseline equals Det whenever partition yields
+///   singletons only (Theorem 4's exactness condition).
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/skypref.h"
+
+namespace skypref {
+namespace {
+
+struct SweepSpec {
+  const char* workload;  // "uniform" | "blockzipf"
+  std::size_t objects;
+  std::size_t dimensions;
+  ValueId values;  // per dimension (uniform) or per block (blockzipf)
+  HashedPreferenceModel::Style style;
+  std::uint64_t seed;
+};
+
+class WorkloadSweepTest : public ::testing::TestWithParam<SweepSpec> {
+ protected:
+  void SetUp() override {
+    const SweepSpec& spec = GetParam();
+    if (std::string(spec.workload) == "uniform") {
+      UniformOptions options;
+      options.objects = spec.objects;
+      options.dimensions = spec.dimensions;
+      options.values_per_dimension = spec.values;
+      options.seed = spec.seed;
+      data_ = GenerateUniform(options).value();
+    } else {
+      BlockZipfOptions options;
+      options.objects = spec.objects;
+      options.dimensions = spec.dimensions;
+      options.block_size = 5;
+      options.values_per_block = spec.values;
+      options.seed = spec.seed;
+      data_ = GenerateBlockZipf(options).value();
+    }
+    prefs_ = HashedPreferenceModel(spec.seed ^ 0xabcd, spec.style);
+  }
+
+  Dataset data_{1};
+  HashedPreferenceModel prefs_{1, HashedPreferenceModel::Style::kTotalUniform};
+};
+
+TEST_P(WorkloadSweepTest, AllSolverPathsAgree) {
+  auto solver = SkylineSolver::Create(data_, prefs_).value();
+  SolverOptions det;
+  det.preprocess = false;
+  SolverOptions det_plus;
+  SolverOptions sam;
+  sam.preprocess = false;
+  sam.monte_carlo.samples = 40000;
+  sam.monte_carlo.seed = 99;
+
+  for (ObjectId target = 0; target < 3 && target < data_.size(); ++target) {
+    double truth = solver.Exact(target, det).value();
+    EXPECT_NEAR(solver.Exact(target, det_plus).value(), truth, 1e-12);
+    EXPECT_NEAR(solver.MonteCarlo(target, sam).value(), truth, 0.02);
+
+    SkylineBounds bounds =
+        BoundedSkylineProbabilityPreprocessed(data_, target, prefs_).value();
+    EXPECT_LE(bounds.lower, truth + 1e-12);
+    EXPECT_GE(bounds.upper, truth - 1e-12);
+  }
+}
+
+TEST_P(WorkloadSweepTest, IncrementalReplayMatchesBatch) {
+  std::vector<ValueId> target(data_.object(0).begin(), data_.object(0).end());
+  IncrementalSkylineProbability incremental(target, prefs_);
+  for (ObjectId row = 1; row < data_.size(); ++row) {
+    ASSERT_TRUE(incremental.AddCandidate(data_.object(row)).ok());
+  }
+  SolverOptions det;
+  det.preprocess = false;
+  auto solver = SkylineSolver::Create(data_, prefs_).value();
+  EXPECT_NEAR(incremental.probability(), solver.Exact(0, det).value(), 1e-12);
+}
+
+TEST_P(WorkloadSweepTest, BaselineExactWhenGroupsAreSingletons) {
+  auto solver = SkylineSolver::Create(data_, prefs_).value();
+  for (ObjectId target = 0; target < 2 && target < data_.size(); ++target) {
+    std::vector<ObjectId> candidates;
+    for (ObjectId i = 0; i < data_.size(); ++i) {
+      if (i != target) candidates.push_back(i);
+    }
+    auto groups = PartitionCandidates(data_, target, candidates);
+    bool all_singletons = true;
+    for (const auto& group : groups) {
+      all_singletons = all_singletons && group.size() == 1;
+    }
+    if (!all_singletons) continue;
+    SolverOptions det;
+    det.preprocess = false;
+    EXPECT_NEAR(solver.Independent(target).value(),
+                solver.Exact(target, det).value(), 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, WorkloadSweepTest,
+    ::testing::Values(
+        SweepSpec{"uniform", 10, 2, 5, HashedPreferenceModel::Style::kTotalUniform, 1},
+        SweepSpec{"uniform", 12, 3, 4, HashedPreferenceModel::Style::kTotalUniform, 2},
+        SweepSpec{"uniform", 10, 4, 3, HashedPreferenceModel::Style::kSimplexUniform, 3},
+        SweepSpec{"uniform", 14, 2, 8, HashedPreferenceModel::Style::kSimplexUniform, 4},
+        SweepSpec{"uniform", 10, 3, 4, HashedPreferenceModel::Style::kUnanimousHalf, 5},
+        SweepSpec{"uniform", 12, 2, 6, HashedPreferenceModel::Style::kCertainOrder, 6},
+        SweepSpec{"blockzipf", 12, 2, 5, HashedPreferenceModel::Style::kTotalUniform, 7},
+        SweepSpec{"blockzipf", 15, 3, 4, HashedPreferenceModel::Style::kSimplexUniform, 8},
+        SweepSpec{"blockzipf", 12, 3, 4, HashedPreferenceModel::Style::kUnanimousHalf, 9},
+        SweepSpec{"blockzipf", 15, 2, 5, HashedPreferenceModel::Style::kCertainOrder, 10}),
+    [](const ::testing::TestParamInfo<SweepSpec>& param_info) {
+      const SweepSpec& s = param_info.param;
+      std::string style;
+      switch (s.style) {
+        case HashedPreferenceModel::Style::kTotalUniform: style = "total"; break;
+        case HashedPreferenceModel::Style::kSimplexUniform: style = "simplex"; break;
+        case HashedPreferenceModel::Style::kUnanimousHalf: style = "half"; break;
+        case HashedPreferenceModel::Style::kCertainOrder: style = "certain"; break;
+      }
+      return std::string(s.workload) + "_n" + std::to_string(s.objects) +
+             "_d" + std::to_string(s.dimensions) + "_" + style;
+    });
+
+}  // namespace
+}  // namespace skypref

@@ -1,0 +1,186 @@
+/// End-to-end integration tests: generators -> preferences -> solvers,
+/// exercising the same pipelines as the benchmark harnesses but at small
+/// scale with correctness assertions.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/skypref.h"
+
+namespace skypref {
+namespace {
+
+TEST(IntegrationTest, UniformPipelineDetEqualsDetPlusEqualsSam) {
+  UniformOptions gen;
+  gen.objects = 14;
+  gen.dimensions = 3;
+  gen.values_per_dimension = 5;
+  gen.seed = 42;
+  Dataset data = GenerateUniform(gen).value();
+
+  TablePreferenceModel model;
+  PreferenceGenOptions prefs;
+  prefs.seed = 43;
+  GeneratePreferences(data, prefs, &model).CheckOK();
+
+  auto solver = SkylineSolver::Create(data, model).value();
+  SolverOptions det;
+  det.preprocess = false;
+  SolverOptions det_plus;
+  det_plus.preprocess = true;
+  SolverOptions sam;
+  sam.preprocess = false;
+  sam.monte_carlo.samples = 60000;
+  sam.monte_carlo.seed = 44;
+
+  for (ObjectId target = 0; target < 5; ++target) {
+    double truth = solver.Exact(target, det).value();
+    EXPECT_NEAR(solver.Exact(target, det_plus).value(), truth, 1e-12);
+    EXPECT_NEAR(solver.MonteCarlo(target, sam).value(), truth, 0.015);
+  }
+}
+
+TEST(IntegrationTest, BlockZipfPipelineDetPlusScalesWherePartitionApplies) {
+  BlockZipfOptions gen;
+  gen.objects = 600;  // 2^600 subsets without partition — impossible
+  gen.dimensions = 4;
+  gen.block_size = 8;
+  gen.values_per_block = 5;
+  gen.seed = 9;
+  Dataset data = GenerateBlockZipf(gen).value();
+
+  HashedPreferenceModel model(99,
+                              HashedPreferenceModel::Style::kTotalUniform);
+  auto solver = SkylineSolver::Create(data, model).value();
+
+  SolverOptions det_plus;
+  det_plus.preprocess = true;
+  SolveStats stats;
+  double sky = solver.Exact(0, det_plus, &stats).value();
+  EXPECT_GE(sky, 0.0);
+  EXPECT_LE(sky, 1.0);
+  EXPECT_GE(stats.groups, data.size() / gen.block_size - 1);
+  EXPECT_LE(stats.largest_group, gen.block_size);
+
+  // Sam+ agrees with Det+ within sampling error.
+  SolverOptions sam_plus;
+  sam_plus.preprocess = true;
+  sam_plus.monte_carlo.samples = 4000;
+  sam_plus.monte_carlo.seed = 5;
+  EXPECT_NEAR(solver.MonteCarlo(0, sam_plus).value(), sky, 0.05);
+}
+
+TEST(IntegrationTest, HashedAndTableModelsAgreeWhenTablesMirrorTheHash) {
+  UniformOptions gen;
+  gen.objects = 10;
+  gen.dimensions = 2;
+  gen.values_per_dimension = 4;
+  gen.seed = 77;
+  Dataset data = GenerateUniform(gen).value();
+
+  HashedPreferenceModel hashed(123,
+                               HashedPreferenceModel::Style::kTotalUniform);
+  TablePreferenceModel table;
+  for (DimensionId j = 0; j < data.dimensions(); ++j) {
+    for (ValueId a = 0; a < data.value_bound(j); ++a) {
+      for (ValueId b = a + 1; b < data.value_bound(j); ++b) {
+        PrefPair pair = hashed.GetPair(j, a, b);
+        table.Set(j, a, b, pair.less, pair.greater).CheckOK();
+      }
+    }
+  }
+  for (ObjectId target = 0; target < data.size(); ++target) {
+    EXPECT_NEAR(ExactSkylineProbability(data, target, hashed).value(),
+                ExactSkylineProbability(data, target, table).value(), 1e-12);
+  }
+}
+
+TEST(IntegrationTest, NurserySmallProjectionFullSolve) {
+  NurseryVariant nursery = GenerateNurseryProjection(2).value();  // 15 objects
+  TablePreferenceModel model;
+  PreferenceGenOptions prefs;
+  prefs.seed = 7;
+  GeneratePreferences(nursery.dataset, prefs, &model).CheckOK();
+  auto solver = SkylineSolver::Create(nursery.dataset, model).value();
+  double total = 0.0;
+  for (ObjectId i = 0; i < nursery.dataset.size(); ++i) {
+    SolverOptions det;
+    det.preprocess = false;
+    SolverOptions det_plus;
+    double plain = solver.Exact(i, det).value();
+    double sky = solver.Exact(i, det_plus).value();
+    EXPECT_NEAR(sky, plain, 1e-12);
+    EXPECT_GE(sky, -1e-12);
+    EXPECT_LE(sky, 1.0 + 1e-12);
+    total += sky;
+  }
+  // Note: the expected skyline cardinality CAN be below 1 here. Sampled
+  // pairwise preferences need not be transitive, so worlds exist in which
+  // every object is dominated (e.g. cyclic value preferences); with a
+  // full-product dataset an object is undominated only if its value is
+  // unbeaten in EVERY dimension's tournament. We only require positive
+  // mass somewhere.
+  EXPECT_GT(total, 0.0);
+  EXPECT_LT(total, static_cast<double>(nursery.dataset.size()));
+}
+
+TEST(IntegrationTest, NurseryEightDimensionalSingleObject) {
+  NurseryVariant nursery = GenerateNursery().value();
+  HashedPreferenceModel model(2013,
+                              HashedPreferenceModel::Style::kTotalUniform);
+  auto solver = SkylineSolver::Create(nursery.dataset, model).value();
+  // Det+ on the full 12,960-object set; preprocessing keeps it feasible
+  // for a bounded-work solve. Guard with a subset budget so the test can
+  // never hang: if the budget trips, that is a real regression.
+  SolverOptions options;
+  options.preprocess = true;
+  options.exact.max_subsets = 50'000'000;
+  SolveStats stats;
+  auto sky = solver.Exact(4242, options, &stats);
+  ASSERT_TRUE(sky.ok()) << sky.status();
+  EXPECT_GE(sky.value(), 0.0);
+  EXPECT_LE(sky.value(), 1.0);
+  EXPECT_LT(stats.after_absorption, stats.candidates);
+
+  // Sam agrees within sampling error.
+  SolverOptions sam;
+  sam.preprocess = true;
+  sam.monte_carlo.samples = 2000;
+  sam.monte_carlo.seed = 31;
+  EXPECT_NEAR(solver.MonteCarlo(4242, sam).value(), sky.value(), 0.06);
+}
+
+TEST(IntegrationTest, CorrelatedPreferencesYieldFewStrongSkylineObjects) {
+  // With strongly correlated preferences a "globally good" object exists
+  // and most objects' skyline probabilities collapse; anti-correlated
+  // preferences spread the probability mass (the Figure 8 narrative).
+  UniformOptions gen;
+  gen.objects = 12;
+  gen.dimensions = 2;
+  gen.values_per_dimension = 6;
+  gen.seed = 3;
+  Dataset data = GenerateUniform(gen).value();
+
+  auto total_sky = [&](PreferenceGenOptions::Style style) {
+    TablePreferenceModel model;
+    PreferenceGenOptions prefs;
+    prefs.style = style;
+    prefs.seed = 4;
+    prefs.bias = 0.95;
+    prefs.jitter = 0.02;
+    GeneratePreferences(data, prefs, &model).CheckOK();
+    double total = 0.0;
+    for (ObjectId i = 0; i < data.size(); ++i) {
+      total += ExactSkylineProbability(data, i, model).value();
+    }
+    return total;
+  };
+
+  double correlated = total_sky(PreferenceGenOptions::Style::kCorrelated);
+  double anti = total_sky(PreferenceGenOptions::Style::kAntiCorrelated);
+  EXPECT_LT(correlated, anti);
+}
+
+}  // namespace
+}  // namespace skypref

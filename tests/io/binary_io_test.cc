@@ -1,0 +1,117 @@
+#include "src/io/binary_io.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "src/core/exact.h"
+#include "src/model/preference_generator.h"
+#include "src/workload/uniform_generator.h"
+#include "test_util.h"
+
+namespace skypref {
+namespace {
+
+using skypref::testing::Example1Dataset;
+using skypref::testing::RandomSmallDataset;
+
+TEST(BinaryDatasetTest, RoundTripPreservesEveryCell) {
+  Dataset data = RandomSmallDataset(17, 30, 4, 6);
+  std::string bytes = DatasetToBinary(data);
+  Dataset reloaded = DatasetFromBinary(bytes).value();
+  ASSERT_EQ(reloaded.size(), data.size());
+  ASSERT_EQ(reloaded.dimensions(), data.dimensions());
+  for (ObjectId i = 0; i < data.size(); ++i) {
+    for (DimensionId j = 0; j < data.dimensions(); ++j) {
+      EXPECT_EQ(reloaded.value(i, j), data.value(i, j));
+    }
+  }
+}
+
+TEST(BinaryDatasetTest, LargeValueIdsSurviveVarintCoding) {
+  Dataset data(2);
+  data.Append({0, 0}).CheckOK();
+  data.Append({127, 128}).CheckOK();
+  data.Append({300000, 4294967295u}).CheckOK();
+  Dataset reloaded = DatasetFromBinary(DatasetToBinary(data)).value();
+  EXPECT_EQ(reloaded.value(2, 0), 300000u);
+  EXPECT_EQ(reloaded.value(2, 1), 4294967295u);
+}
+
+TEST(BinaryDatasetTest, EmptyDatasetRoundTrips) {
+  Dataset data(3);
+  Dataset reloaded = DatasetFromBinary(DatasetToBinary(data)).value();
+  EXPECT_EQ(reloaded.size(), 0u);
+  EXPECT_EQ(reloaded.dimensions(), 3u);
+}
+
+TEST(BinaryDatasetTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(DatasetFromBinary("").ok());
+  EXPECT_FALSE(DatasetFromBinary("JUNKJUNKJUNK").ok());
+  Dataset data = Example1Dataset();
+  std::string bytes = DatasetToBinary(data);
+  // Truncation anywhere in the payload must be detected.
+  for (std::size_t cut : {4u, 10u, 20u}) {
+    if (cut < bytes.size()) {
+      EXPECT_FALSE(DatasetFromBinary(bytes.substr(0, cut)).ok())
+          << "cut=" << cut;
+    }
+  }
+  // Trailing garbage too.
+  EXPECT_FALSE(DatasetFromBinary(bytes + "x").ok());
+  // Wrong version.
+  std::string bad_version = bytes;
+  bad_version[4] = 9;
+  EXPECT_FALSE(DatasetFromBinary(bad_version).ok());
+}
+
+TEST(BinaryDatasetTest, FileRoundTrip) {
+  std::string path = ::testing::TempDir() + "/skypref_binary_test.skyd";
+  Dataset data = Example1Dataset();
+  ASSERT_TRUE(SaveDatasetBinary(path, data).ok());
+  Dataset reloaded = LoadDatasetBinary(path).value();
+  EXPECT_EQ(reloaded.size(), data.size());
+  std::remove(path.c_str());
+  EXPECT_FALSE(LoadDatasetBinary(path).ok());
+}
+
+TEST(BinaryPreferencesTest, RoundTripPreservesSolverResults) {
+  Dataset data = RandomSmallDataset(23, 10, 3, 4);
+  TablePreferenceModel model;
+  PreferenceGenOptions options;
+  options.seed = 5;
+  GeneratePreferences(data, options, &model).CheckOK();
+
+  std::string bytes = PreferencesToBinary(data, model);
+  TablePreferenceModel reloaded = PreferencesFromBinary(bytes).value();
+  for (ObjectId target = 0; target < 3; ++target) {
+    EXPECT_DOUBLE_EQ(ExactSkylineProbability(data, target, reloaded).value(),
+                     ExactSkylineProbability(data, target, model).value());
+  }
+}
+
+TEST(BinaryPreferencesTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(PreferencesFromBinary("").ok());
+  Dataset data = Example1Dataset();
+  TablePreferenceModel model;
+  std::string bytes = PreferencesToBinary(data, model);
+  EXPECT_FALSE(PreferencesFromBinary(bytes.substr(0, bytes.size() / 2)).ok());
+  EXPECT_FALSE(PreferencesFromBinary(bytes + "zz").ok());
+  // Dataset magic is not preference magic.
+  EXPECT_FALSE(PreferencesFromBinary(DatasetToBinary(data)).ok());
+}
+
+TEST(BinaryFormatsTest, BinaryIsSmallerThanCsvForLargeData) {
+  UniformOptions gen;
+  gen.objects = 2000;
+  gen.dimensions = 5;
+  gen.values_per_dimension = 40;
+  gen.seed = 6;
+  Dataset data = GenerateUniform(gen).value();
+  std::string binary = DatasetToBinary(data);
+  // 2000 x 5 cells, ids < 128 -> one byte each plus a 24-byte header.
+  EXPECT_LT(binary.size(), 2000u * 5u * 2u + 24u);
+}
+
+}  // namespace
+}  // namespace skypref

@@ -1,0 +1,143 @@
+#include "src/io/dataset_io.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "src/core/exact.h"
+
+namespace skypref {
+namespace {
+
+constexpr char kHotelCsv[] =
+    "view,heating\n"
+    "beach,none\n"
+    "garden,fireplace\n"
+    "beach,fireplace\n";
+
+TEST(DatasetIoTest, ParsesHeaderAndRows) {
+  LoadedDataset loaded = DatasetFromCsv(kHotelCsv).value();
+  EXPECT_EQ(loaded.dataset.size(), 3u);
+  EXPECT_EQ(loaded.dataset.dimensions(), 2u);
+  EXPECT_EQ(loaded.domain.dimension_name(0), "view");
+  EXPECT_EQ(loaded.domain.dimension_name(1), "heating");
+  // Interning order: beach=0, garden=1 on dim 0.
+  EXPECT_EQ(loaded.dataset.value(0, 0), 0u);
+  EXPECT_EQ(loaded.dataset.value(1, 0), 1u);
+  EXPECT_EQ(loaded.dataset.value(2, 0), 0u);
+  EXPECT_EQ(loaded.domain.value_name(1, loaded.dataset.value(1, 1)),
+            "fireplace");
+}
+
+TEST(DatasetIoTest, RoundTripPreservesEverything) {
+  LoadedDataset loaded = DatasetFromCsv(kHotelCsv).value();
+  std::string serialized = DatasetToCsv(loaded.dataset, loaded.domain);
+  LoadedDataset reloaded = DatasetFromCsv(serialized).value();
+  ASSERT_EQ(reloaded.dataset.size(), loaded.dataset.size());
+  for (ObjectId i = 0; i < loaded.dataset.size(); ++i) {
+    for (DimensionId j = 0; j < loaded.dataset.dimensions(); ++j) {
+      EXPECT_EQ(reloaded.domain.value_name(j, reloaded.dataset.value(i, j)),
+                loaded.domain.value_name(j, loaded.dataset.value(i, j)));
+    }
+  }
+}
+
+TEST(DatasetIoTest, RejectsRaggedRows) {
+  EXPECT_EQ(DatasetFromCsv("a,b\n1\n").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(DatasetFromCsv("a,b\n1,2,3\n").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DatasetIoTest, RejectsEmptyDocument) {
+  EXPECT_FALSE(DatasetFromCsv("").ok());
+}
+
+TEST(DatasetIoTest, FileRoundTrip) {
+  std::string path = ::testing::TempDir() + "/skypref_dataset_test.csv";
+  LoadedDataset loaded = DatasetFromCsv(kHotelCsv).value();
+  ASSERT_TRUE(SaveDatasetFile(path, loaded.dataset, loaded.domain).ok());
+  LoadedDataset reloaded = LoadDatasetFile(path).value();
+  EXPECT_EQ(reloaded.dataset.size(), 3u);
+  std::remove(path.c_str());
+  EXPECT_FALSE(LoadDatasetFile(path).ok());
+}
+
+TEST(PreferenceIoTest, ParsesAndAppliesPreferences) {
+  LoadedDataset loaded = DatasetFromCsv(kHotelCsv).value();
+  const char kPrefs[] =
+      "dimension,value_a,value_b,prob_a_less,prob_b_less\n"
+      "view,beach,garden,0.75,0.25\n"
+      "heating,none,fireplace,0.4,0.5\n";
+  TablePreferenceModel model =
+      PreferencesFromCsv(kPrefs, loaded.domain).value();
+  ValueId beach = loaded.domain.FindValue(0, "beach").value();
+  ValueId garden = loaded.domain.FindValue(0, "garden").value();
+  EXPECT_DOUBLE_EQ(model.GetPair(0, beach, garden).less, 0.75);
+  EXPECT_DOUBLE_EQ(model.GetPair(0, garden, beach).less, 0.25);
+  ValueId none = loaded.domain.FindValue(1, "none").value();
+  ValueId fire = loaded.domain.FindValue(1, "fireplace").value();
+  EXPECT_NEAR(model.GetPair(1, none, fire).incomparable(), 0.1, 1e-12);
+}
+
+TEST(PreferenceIoTest, RoundTripThroughCsv) {
+  LoadedDataset loaded = DatasetFromCsv(kHotelCsv).value();
+  TablePreferenceModel model;
+  model.Set(0, 0, 1, 0.9, 0.1).CheckOK();
+  model.Set(1, 0, 1, 0.3, 0.3).CheckOK();
+  std::string serialized =
+      PreferencesToCsv(loaded.dataset, loaded.domain, model);
+  TablePreferenceModel reloaded =
+      PreferencesFromCsv(serialized, loaded.domain).value();
+  EXPECT_NEAR(reloaded.GetPair(0, 0, 1).less, 0.9, 1e-6);
+  EXPECT_NEAR(reloaded.GetPair(1, 0, 1).greater, 0.3, 1e-6);
+}
+
+TEST(PreferenceIoTest, RejectsMalformedRows) {
+  LoadedDataset loaded = DatasetFromCsv(kHotelCsv).value();
+  EXPECT_EQ(PreferencesFromCsv("h\nview,beach\n", loaded.domain)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(PreferencesFromCsv(
+                "h\nbogus_dim,beach,garden,0.5,0.5\n", loaded.domain)
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(PreferencesFromCsv(
+                "h\nview,beach,ghost,0.5,0.5\n", loaded.domain)
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(PreferencesFromCsv(
+                "h\nview,beach,garden,1.5,0.5\n", loaded.domain)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(PreferencesFromCsv(
+                "h\nview,beach,garden,abc,0.5\n", loaded.domain)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PreferenceIoTest, LoadedInstanceSolvesEndToEnd) {
+  LoadedDataset loaded = DatasetFromCsv(kHotelCsv).value();
+  const char kPrefs[] =
+      "dimension,value_a,value_b,prob_a_less,prob_b_less\n"
+      "view,beach,garden,1,0\n"
+      "heating,none,fireplace,0,1\n";
+  TablePreferenceModel model =
+      PreferencesFromCsv(kPrefs, loaded.domain).value();
+  // beach always beats garden; fireplace always beats none. Object 2
+  // (beach, fireplace) dominates everything with certainty.
+  EXPECT_DOUBLE_EQ(
+      ExactSkylineProbability(loaded.dataset, 2, model).value(), 1.0);
+  EXPECT_DOUBLE_EQ(
+      ExactSkylineProbability(loaded.dataset, 0, model).value(), 0.0);
+  EXPECT_DOUBLE_EQ(
+      ExactSkylineProbability(loaded.dataset, 1, model).value(), 0.0);
+}
+
+}  // namespace
+}  // namespace skypref

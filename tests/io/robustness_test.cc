@@ -1,0 +1,102 @@
+/// Parser robustness: random and adversarial bytes must never crash or
+/// abort — every malformed input comes back as a non-OK Status.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/io/binary_io.h"
+#include "src/io/csv.h"
+#include "src/io/dataset_io.h"
+#include "src/util/random.h"
+#include "test_util.h"
+
+namespace skypref {
+namespace {
+
+std::string RandomBytes(Rng& rng, std::size_t length) {
+  std::string bytes(length, '\0');
+  for (char& c : bytes) {
+    c = static_cast<char>(rng.NextBounded(256));
+  }
+  return bytes;
+}
+
+TEST(RobustnessTest, RandomBytesIntoCsvParsers) {
+  Rng rng(0xf00d);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string bytes = RandomBytes(rng, rng.NextBounded(200));
+    // Must return (either outcome), never crash.
+    auto line = ParseCsvLine(bytes);
+    auto document = ParseCsv(bytes);
+    auto dataset = DatasetFromCsv(bytes);
+    (void)line;
+    (void)document;
+    (void)dataset;
+  }
+}
+
+TEST(RobustnessTest, RandomBytesIntoBinaryParsers) {
+  Rng rng(0xbeef);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string bytes = RandomBytes(rng, rng.NextBounded(300));
+    auto dataset = DatasetFromBinary(bytes);
+    auto prefs = PreferencesFromBinary(bytes);
+    (void)dataset;
+    (void)prefs;
+  }
+}
+
+TEST(RobustnessTest, CorruptedValidBinaryDocuments) {
+  Dataset data = skypref::testing::RandomSmallDataset(5, 20, 3, 5);
+  std::string valid = DatasetToBinary(data);
+  Rng rng(0xcafe);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string corrupted = valid;
+    // Flip a few random bytes.
+    for (int flips = 0; flips < 3; ++flips) {
+      std::size_t pos = rng.NextBounded(corrupted.size());
+      corrupted[pos] = static_cast<char>(rng.NextBounded(256));
+    }
+    auto result = DatasetFromBinary(corrupted);
+    if (result.ok()) {
+      // A flip may land in a cell and still parse; the shape must then
+      // be internally consistent.
+      EXPECT_EQ(result->dimensions(), data.dimensions());
+    }
+  }
+}
+
+TEST(RobustnessTest, HeaderClaimsHugeCountsButPayloadIsSmall) {
+  // A forged header with a massive row count must fail on truncation
+  // instead of allocating unbounded memory.
+  std::string forged("SKYD", 4);
+  forged.append("\x01\x00\x00\x00", 4);                  // version 1
+  forged.append("\x02\x00\x00\x00\x00\x00\x00\x00", 8);  // dims = 2
+  std::string huge_rows(8, '\xff');                      // rows = 2^64-1
+  forged.append(huge_rows);
+  forged.push_back('\x01');  // one lonely cell
+  auto result = DatasetFromBinary(forged);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(RobustnessTest, PreferenceCsvWithHostileFields) {
+  Domain domain({"a", "b"});
+  domain.InternValue(0, "x").value();
+  domain.InternValue(0, "y").value();
+  const char* hostile[] = {
+      "h\na,x,y,nan,0.5\n",
+      "h\na,x,y,inf,0.5\n",
+      "h\na,x,y,0.5,-inf\n",
+      "h\na,x,y,1e400,0\n",
+      "h\na,x,x,0.5,0.5\n",
+      "h\n,,,,\n",
+  };
+  for (const char* document : hostile) {
+    auto result = PreferencesFromCsv(document, domain);
+    EXPECT_FALSE(result.ok()) << document;
+  }
+}
+
+}  // namespace
+}  // namespace skypref

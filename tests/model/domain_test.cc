@@ -1,0 +1,72 @@
+#include "src/model/domain.h"
+
+#include <gtest/gtest.h>
+
+namespace skypref {
+namespace {
+
+TEST(DomainTest, UnnamedDimensionsGetDefaultNames) {
+  Domain domain(std::size_t{3});
+  EXPECT_EQ(domain.dimensions(), 3u);
+  EXPECT_EQ(domain.dimension_name(0), "dim0");
+  EXPECT_EQ(domain.dimension_name(2), "dim2");
+}
+
+TEST(DomainTest, NamedDimensions) {
+  Domain domain({"price", "rating"});
+  EXPECT_EQ(domain.dimensions(), 2u);
+  EXPECT_EQ(domain.dimension_name(0), "price");
+  EXPECT_EQ(domain.dimension_name(1), "rating");
+}
+
+TEST(DomainTest, InternAssignsDenseIds) {
+  Domain domain(std::size_t{2});
+  EXPECT_EQ(domain.InternValue(0, "red").value(), 0u);
+  EXPECT_EQ(domain.InternValue(0, "green").value(), 1u);
+  EXPECT_EQ(domain.InternValue(0, "blue").value(), 2u);
+  EXPECT_EQ(domain.value_count(0), 3u);
+  EXPECT_EQ(domain.value_count(1), 0u);
+}
+
+TEST(DomainTest, InternIsIdempotent) {
+  Domain domain(std::size_t{1});
+  ValueId first = domain.InternValue(0, "x").value();
+  ValueId second = domain.InternValue(0, "x").value();
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(domain.value_count(0), 1u);
+}
+
+TEST(DomainTest, ValuesAreDimensionLocal) {
+  Domain domain(std::size_t{2});
+  ValueId on_dim0 = domain.InternValue(0, "shared").value();
+  ValueId on_dim1 = domain.InternValue(1, "shared").value();
+  EXPECT_EQ(on_dim0, 0u);
+  EXPECT_EQ(on_dim1, 0u);  // independent id spaces
+  EXPECT_EQ(domain.value_name(0, 0), "shared");
+  EXPECT_EQ(domain.value_name(1, 0), "shared");
+}
+
+TEST(DomainTest, FindValueRoundTrip) {
+  Domain domain(std::size_t{1});
+  domain.InternValue(0, "alpha").value();
+  domain.InternValue(0, "beta").value();
+  EXPECT_EQ(domain.FindValue(0, "beta").value(), 1u);
+  EXPECT_EQ(domain.value_name(0, domain.FindValue(0, "alpha").value()),
+            "alpha");
+}
+
+TEST(DomainTest, FindValueMissingIsNotFound) {
+  Domain domain(std::size_t{1});
+  EXPECT_EQ(domain.FindValue(0, "ghost").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(DomainTest, OutOfRangeDimensionIsRejected) {
+  Domain domain(std::size_t{1});
+  EXPECT_EQ(domain.InternValue(5, "x").status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(domain.FindValue(5, "x").status().code(), StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace skypref

@@ -1,0 +1,102 @@
+#include "src/model/preference_estimation.h"
+
+#include <gtest/gtest.h>
+
+namespace skypref {
+namespace {
+
+TEST(VoteAggregatorTest, RawFrequenciesWithoutSmoothing) {
+  VoteAggregator votes(/*smoothing=*/0.0);
+  ASSERT_TRUE(votes.AddVotes(0, 1, 2, 30, 10, 10).ok());
+  TablePreferenceModel model = votes.BuildModel().value();
+  PrefPair pair = model.GetPair(0, 1, 2);
+  EXPECT_DOUBLE_EQ(pair.less, 0.6);
+  EXPECT_DOUBLE_EQ(pair.greater, 0.2);
+  EXPECT_NEAR(pair.incomparable(), 0.2, 1e-12);
+}
+
+TEST(VoteAggregatorTest, LaplaceSmoothingPullsTowardUniform) {
+  VoteAggregator votes(/*smoothing=*/1.0);
+  votes.AddVotes(0, 1, 2, 1, 0, 0).CheckOK();
+  TablePreferenceModel model = votes.BuildModel().value();
+  PrefPair pair = model.GetPair(0, 1, 2);
+  // (1+1)/(1+3) = 1/2 and (0+1)/(1+3) = 1/4.
+  EXPECT_DOUBLE_EQ(pair.less, 0.5);
+  EXPECT_DOUBLE_EQ(pair.greater, 0.25);
+}
+
+TEST(VoteAggregatorTest, SingleVotesAccumulate) {
+  VoteAggregator votes(0.0);
+  votes.AddVote(0, 3, 4, VoteOutcome::kFirstPreferred).CheckOK();
+  votes.AddVote(0, 3, 4, VoteOutcome::kFirstPreferred).CheckOK();
+  votes.AddVote(0, 3, 4, VoteOutcome::kSecondPreferred).CheckOK();
+  votes.AddVote(0, 3, 4, VoteOutcome::kIncomparable).CheckOK();
+  EXPECT_EQ(votes.VoteCount(0, 3, 4), 4u);
+  TablePreferenceModel model = votes.BuildModel().value();
+  EXPECT_DOUBLE_EQ(model.GetPair(0, 3, 4).less, 0.5);
+  EXPECT_DOUBLE_EQ(model.GetPair(0, 3, 4).greater, 0.25);
+}
+
+TEST(VoteAggregatorTest, OrientationIsCanonicalized) {
+  VoteAggregator votes(0.0);
+  // "first preferred" with first = 5 is the same as "second preferred"
+  // with the pair flipped.
+  votes.AddVote(0, 5, 2, VoteOutcome::kFirstPreferred).CheckOK();
+  votes.AddVote(0, 2, 5, VoteOutcome::kSecondPreferred).CheckOK();
+  TablePreferenceModel model = votes.BuildModel().value();
+  EXPECT_DOUBLE_EQ(model.GetPair(0, 5, 2).less, 1.0);
+  EXPECT_DOUBLE_EQ(model.GetPair(0, 2, 5).greater, 1.0);
+  EXPECT_EQ(votes.VoteCount(0, 2, 5), 2u);
+  EXPECT_EQ(votes.pair_count(), 1u);
+}
+
+TEST(VoteAggregatorTest, UnseenPairsUseTheDefault) {
+  VoteAggregator votes(1.0);
+  votes.AddVotes(0, 1, 2, 5, 5).CheckOK();
+  TablePreferenceModel model =
+      votes.BuildModel(PrefPair{0.9, 0.1}).value();
+  EXPECT_DOUBLE_EQ(model.GetPair(0, 7, 8).less, 0.9);
+  EXPECT_EQ(votes.VoteCount(0, 7, 8), 0u);
+}
+
+TEST(VoteAggregatorTest, DimensionsAreIndependent) {
+  VoteAggregator votes(0.0);
+  votes.AddVotes(0, 1, 2, 10, 0).CheckOK();
+  votes.AddVotes(1, 1, 2, 0, 10).CheckOK();
+  TablePreferenceModel model = votes.BuildModel().value();
+  EXPECT_DOUBLE_EQ(model.GetPair(0, 1, 2).less, 1.0);
+  EXPECT_DOUBLE_EQ(model.GetPair(1, 1, 2).less, 0.0);
+}
+
+TEST(VoteAggregatorTest, ProducedPairsAlwaysValid) {
+  VoteAggregator votes(0.5);
+  votes.AddVotes(0, 1, 2, 1000, 1, 0).CheckOK();
+  votes.AddVotes(0, 1, 3, 0, 0, 1000).CheckOK();
+  TablePreferenceModel model = votes.BuildModel().value();
+  EXPECT_TRUE(model.GetPair(0, 1, 2).Validate().ok());
+  EXPECT_TRUE(model.GetPair(0, 1, 3).Validate().ok());
+  EXPECT_GT(model.GetPair(0, 1, 3).incomparable(), 0.99);
+}
+
+TEST(VoteAggregatorTest, RejectsSelfComparison) {
+  VoteAggregator votes;
+  EXPECT_EQ(votes.AddVote(0, 1, 1, VoteOutcome::kFirstPreferred).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(votes.AddVotes(0, 2, 2, 1, 1).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(VoteAggregatorTest, NegativeSmoothingClampedToZero) {
+  VoteAggregator votes(-5.0);
+  votes.AddVotes(0, 1, 2, 4, 0).CheckOK();
+  TablePreferenceModel model = votes.BuildModel().value();
+  EXPECT_DOUBLE_EQ(model.GetPair(0, 1, 2).less, 1.0);
+}
+
+TEST(VoteAggregatorTest, BuildModelValidatesDefaultPair) {
+  VoteAggregator votes;
+  EXPECT_FALSE(votes.BuildModel(PrefPair{0.8, 0.8}).ok());
+}
+
+}  // namespace
+}  // namespace skypref

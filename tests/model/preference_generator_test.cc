@@ -1,0 +1,157 @@
+#include "src/model/preference_generator.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace skypref {
+namespace {
+
+using skypref::testing::RandomSmallDataset;
+
+Dataset TwoDimDataset() {
+  Dataset data(2);
+  data.Append({0, 0}).CheckOK();
+  data.Append({1, 2}).CheckOK();
+  data.Append({2, 1}).CheckOK();
+  data.Append({3, 3}).CheckOK();
+  return data;
+}
+
+TEST(PreferenceGeneratorTest, TotalUniformCoversAllPairsValidly) {
+  Dataset data = TwoDimDataset();
+  TablePreferenceModel model;
+  PreferenceGenOptions options;
+  options.style = PreferenceGenOptions::Style::kTotalUniform;
+  ASSERT_TRUE(GeneratePreferences(data, options, &model).ok());
+  // 4 values per dimension -> C(4,2)=6 pairs per dimension, 2 dimensions.
+  EXPECT_EQ(model.stored_pairs(), 12u);
+  for (DimensionId j = 0; j < 2; ++j) {
+    for (ValueId a = 0; a < 4; ++a) {
+      for (ValueId b = a + 1; b < 4; ++b) {
+        PrefPair pair = model.GetPair(j, a, b);
+        EXPECT_TRUE(pair.Validate().ok());
+        EXPECT_NEAR(pair.less + pair.greater, 1.0, 1e-12);
+      }
+    }
+  }
+}
+
+TEST(PreferenceGeneratorTest, DeterministicPerSeed) {
+  Dataset data = TwoDimDataset();
+  TablePreferenceModel a, b, c;
+  PreferenceGenOptions options;
+  options.seed = 5;
+  ASSERT_TRUE(GeneratePreferences(data, options, &a).ok());
+  ASSERT_TRUE(GeneratePreferences(data, options, &b).ok());
+  options.seed = 6;
+  ASSERT_TRUE(GeneratePreferences(data, options, &c).ok());
+  EXPECT_DOUBLE_EQ(a.GetPair(0, 0, 1).less, b.GetPair(0, 0, 1).less);
+  EXPECT_NE(a.GetPair(0, 0, 1).less, c.GetPair(0, 0, 1).less);
+}
+
+TEST(PreferenceGeneratorTest, SimplexAllowsIncomparability) {
+  Dataset data = RandomSmallDataset(3, 20, 3, 8);
+  TablePreferenceModel model;
+  PreferenceGenOptions options;
+  options.style = PreferenceGenOptions::Style::kSimplexUniform;
+  ASSERT_TRUE(GeneratePreferences(data, options, &model).ok());
+  bool any_incomparable = false;
+  for (DimensionId j = 0; j < 3; ++j) {
+    for (ValueId a = 0; a < data.value_bound(j); ++a) {
+      for (ValueId b = a + 1; b < data.value_bound(j); ++b) {
+        PrefPair pair = model.GetPair(j, a, b);
+        ASSERT_TRUE(pair.Validate().ok());
+        if (pair.incomparable() > 0.05) any_incomparable = true;
+      }
+    }
+  }
+  EXPECT_TRUE(any_incomparable);
+}
+
+TEST(PreferenceGeneratorTest, UnanimousHalf) {
+  Dataset data = TwoDimDataset();
+  TablePreferenceModel model;
+  PreferenceGenOptions options;
+  options.style = PreferenceGenOptions::Style::kUnanimousHalf;
+  ASSERT_TRUE(GeneratePreferences(data, options, &model).ok());
+  EXPECT_DOUBLE_EQ(model.GetPair(0, 0, 3).less, 0.5);
+  EXPECT_DOUBLE_EQ(model.GetPair(1, 1, 2).greater, 0.5);
+}
+
+TEST(PreferenceGeneratorTest, CorrelatedFavoursAscendingIdsEverywhere) {
+  Dataset data = TwoDimDataset();
+  TablePreferenceModel model;
+  PreferenceGenOptions options;
+  options.style = PreferenceGenOptions::Style::kCorrelated;
+  options.bias = 0.9;
+  options.jitter = 0.05;
+  ASSERT_TRUE(GeneratePreferences(data, options, &model).ok());
+  for (DimensionId j = 0; j < 2; ++j) {
+    for (ValueId a = 0; a < 4; ++a) {
+      for (ValueId b = a + 1; b < 4; ++b) {
+        EXPECT_GE(model.GetPair(j, a, b).less, 0.8);
+      }
+    }
+  }
+}
+
+TEST(PreferenceGeneratorTest, AntiCorrelatedFlipsOddDimensions) {
+  Dataset data = TwoDimDataset();
+  TablePreferenceModel model;
+  PreferenceGenOptions options;
+  options.style = PreferenceGenOptions::Style::kAntiCorrelated;
+  ASSERT_TRUE(GeneratePreferences(data, options, &model).ok());
+  EXPECT_GE(model.GetPair(0, 0, 1).less, 0.8);   // even dim: ascending
+  EXPECT_LE(model.GetPair(1, 0, 1).less, 0.2);   // odd dim: descending
+}
+
+TEST(PreferenceGeneratorTest, RejectsBadArguments) {
+  Dataset data = TwoDimDataset();
+  PreferenceGenOptions options;
+  EXPECT_FALSE(GeneratePreferences(data, options, nullptr).ok());
+  options.bias = 1.5;
+  TablePreferenceModel model;
+  EXPECT_FALSE(GeneratePreferences(data, options, &model).ok());
+}
+
+TEST(RationalGeneratorTest, TotalPairsSumToOne) {
+  Dataset data = TwoDimDataset();
+  RationalPreferenceModel model;
+  ASSERT_TRUE(GenerateRationalPreferences(data, 9, 16, &model).ok());
+  for (DimensionId j = 0; j < 2; ++j) {
+    for (ValueId a = 0; a < 4; ++a) {
+      for (ValueId b = a + 1; b < 4; ++b) {
+        RationalPrefPair pair = model.GetRational(j, a, b);
+        EXPECT_EQ(pair.less + pair.greater, Rational(1));
+      }
+    }
+  }
+}
+
+TEST(RationalGeneratorTest, SimplexPairsStayInSimplex) {
+  Dataset data = RandomSmallDataset(4, 10, 2, 6);
+  RationalPreferenceModel model;
+  ASSERT_TRUE(GenerateRationalSimplexPreferences(data, 9, 8, &model).ok());
+  for (DimensionId j = 0; j < 2; ++j) {
+    for (ValueId a = 0; a < data.value_bound(j); ++a) {
+      for (ValueId b = a + 1; b < data.value_bound(j); ++b) {
+        RationalPrefPair pair = model.GetRational(j, a, b);
+        EXPECT_GE(pair.less, Rational(0));
+        EXPECT_GE(pair.greater, Rational(0));
+        EXPECT_LE(pair.less + pair.greater, Rational(1));
+      }
+    }
+  }
+}
+
+TEST(RationalGeneratorTest, RejectsZeroDenominator) {
+  Dataset data = TwoDimDataset();
+  RationalPreferenceModel model;
+  EXPECT_FALSE(GenerateRationalPreferences(data, 9, 0, &model).ok());
+  EXPECT_FALSE(GenerateRationalSimplexPreferences(data, 9, 0, &model).ok());
+  EXPECT_FALSE(GenerateRationalPreferences(data, 9, 8, nullptr).ok());
+}
+
+}  // namespace
+}  // namespace skypref

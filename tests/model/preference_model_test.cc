@@ -1,0 +1,211 @@
+#include "src/model/preference_model.h"
+
+#include <gtest/gtest.h>
+
+namespace skypref {
+namespace {
+
+TEST(PrefPairTest, ValidateAcceptsSimplex) {
+  EXPECT_TRUE((PrefPair{0.3, 0.4}.Validate().ok()));
+  EXPECT_TRUE((PrefPair{0.0, 1.0}.Validate().ok()));
+  EXPECT_TRUE((PrefPair{0.5, 0.5}.Validate().ok()));
+  EXPECT_TRUE((PrefPair{0.0, 0.0}.Validate().ok()));  // always incomparable
+}
+
+TEST(PrefPairTest, ValidateRejectsOutOfRange) {
+  EXPECT_FALSE((PrefPair{-0.1, 0.5}.Validate().ok()));
+  EXPECT_FALSE((PrefPair{0.5, 1.1}.Validate().ok()));
+  EXPECT_FALSE((PrefPair{0.7, 0.7}.Validate().ok()));  // sums above 1
+}
+
+TEST(PrefPairTest, IncomparableMass) {
+  EXPECT_DOUBLE_EQ((PrefPair{0.3, 0.4}.incomparable()), 0.3);
+  EXPECT_DOUBLE_EQ((PrefPair{0.5, 0.5}.incomparable()), 0.0);
+}
+
+TEST(PrefPairTest, SwappedFlipsOrientation) {
+  PrefPair pair{0.2, 0.7};
+  PrefPair swapped = pair.Swapped();
+  EXPECT_DOUBLE_EQ(swapped.less, 0.7);
+  EXPECT_DOUBLE_EQ(swapped.greater, 0.2);
+}
+
+TEST(TableModelTest, DefaultPairForUnsetEntries) {
+  TablePreferenceModel model;
+  PrefPair pair = model.GetPair(0, 1, 2);
+  EXPECT_DOUBLE_EQ(pair.less, 0.5);
+  EXPECT_DOUBLE_EQ(pair.greater, 0.5);
+  TablePreferenceModel custom(PrefPair{0.1, 0.2});
+  EXPECT_DOUBLE_EQ(custom.GetPair(0, 1, 2).less, 0.1);
+}
+
+TEST(TableModelTest, SetAndGetBothOrientations) {
+  TablePreferenceModel model;
+  ASSERT_TRUE(model.Set(0, 1, 2, 0.7, 0.2).ok());
+  EXPECT_DOUBLE_EQ(model.GetPair(0, 1, 2).less, 0.7);
+  EXPECT_DOUBLE_EQ(model.GetPair(0, 1, 2).greater, 0.2);
+  EXPECT_DOUBLE_EQ(model.GetPair(0, 2, 1).less, 0.2);
+  EXPECT_DOUBLE_EQ(model.GetPair(0, 2, 1).greater, 0.7);
+}
+
+TEST(TableModelTest, SetInReverseOrientationIsCanonicalized) {
+  TablePreferenceModel model;
+  ASSERT_TRUE(model.Set(0, 5, 3, 0.9, 0.05).ok());  // Pr(5<3)=0.9
+  EXPECT_DOUBLE_EQ(model.GetPair(0, 3, 5).less, 0.05);
+  EXPECT_DOUBLE_EQ(model.GetPair(0, 5, 3).less, 0.9);
+  EXPECT_EQ(model.stored_pairs(), 1u);
+}
+
+TEST(TableModelTest, OverwriteAndContains) {
+  TablePreferenceModel model;
+  EXPECT_FALSE(model.Contains(0, 1, 2));
+  model.Set(0, 1, 2, 0.4, 0.4).CheckOK();
+  EXPECT_TRUE(model.Contains(0, 2, 1));
+  model.Set(0, 1, 2, 0.1, 0.1).CheckOK();
+  EXPECT_DOUBLE_EQ(model.GetPair(0, 1, 2).less, 0.1);
+  EXPECT_EQ(model.stored_pairs(), 1u);
+}
+
+TEST(TableModelTest, SetRejectsInvalid) {
+  TablePreferenceModel model;
+  EXPECT_EQ(model.Set(0, 1, 1, 0.5, 0.5).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(model.Set(0, 1, 2, 0.8, 0.8).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(model.Set(0, 1, 2, -0.1, 0.2).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(TableModelTest, DimensionsAreIndependentKeys) {
+  TablePreferenceModel model;
+  model.Set(0, 1, 2, 0.9, 0.1).CheckOK();
+  model.Set(1, 1, 2, 0.2, 0.8).CheckOK();
+  EXPECT_DOUBLE_EQ(model.GetPair(0, 1, 2).less, 0.9);
+  EXPECT_DOUBLE_EQ(model.GetPair(1, 1, 2).less, 0.2);
+}
+
+TEST(PreferenceModelTest, LessAndLessEqHandleEqualValues) {
+  TablePreferenceModel model;
+  model.Set(0, 1, 2, 0.7, 0.3).CheckOK();
+  EXPECT_DOUBLE_EQ(model.Less(0, 1, 1), 0.0);
+  EXPECT_DOUBLE_EQ(model.LessEq(0, 1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(model.Less(0, 1, 2), 0.7);
+  EXPECT_DOUBLE_EQ(model.LessEq(0, 1, 2), 0.7);
+}
+
+TEST(HashedModelTest, DeterministicAndOrientationConsistent) {
+  HashedPreferenceModel model(99, HashedPreferenceModel::Style::kTotalUniform);
+  PrefPair forward = model.GetPair(2, 10, 20);
+  PrefPair backward = model.GetPair(2, 20, 10);
+  EXPECT_DOUBLE_EQ(forward.less, backward.greater);
+  EXPECT_DOUBLE_EQ(forward.greater, backward.less);
+  HashedPreferenceModel again(99, HashedPreferenceModel::Style::kTotalUniform);
+  EXPECT_DOUBLE_EQ(again.GetPair(2, 10, 20).less, forward.less);
+}
+
+TEST(HashedModelTest, SeedsChangeTheTable) {
+  HashedPreferenceModel a(1, HashedPreferenceModel::Style::kTotalUniform);
+  HashedPreferenceModel b(2, HashedPreferenceModel::Style::kTotalUniform);
+  bool any_difference = false;
+  for (ValueId v = 1; v < 20 && !any_difference; ++v) {
+    any_difference = a.GetPair(0, 0, v).less != b.GetPair(0, 0, v).less;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(HashedModelTest, TotalUniformHasNoIncomparability) {
+  HashedPreferenceModel model(7, HashedPreferenceModel::Style::kTotalUniform);
+  for (ValueId v = 1; v < 50; ++v) {
+    PrefPair pair = model.GetPair(0, 0, v);
+    EXPECT_TRUE(pair.Validate().ok());
+    EXPECT_NEAR(pair.incomparable(), 0.0, 1e-15);
+  }
+}
+
+TEST(HashedModelTest, SimplexUniformStaysInSimplex) {
+  HashedPreferenceModel model(7, HashedPreferenceModel::Style::kSimplexUniform);
+  bool some_incomparability = false;
+  for (ValueId v = 1; v < 200; ++v) {
+    PrefPair pair = model.GetPair(3, 0, v);
+    ASSERT_TRUE(pair.Validate().ok());
+    if (pair.incomparable() > 0.1) some_incomparability = true;
+  }
+  EXPECT_TRUE(some_incomparability);
+}
+
+TEST(HashedModelTest, UnanimousHalf) {
+  HashedPreferenceModel model(7, HashedPreferenceModel::Style::kUnanimousHalf);
+  EXPECT_DOUBLE_EQ(model.GetPair(0, 3, 9).less, 0.5);
+  EXPECT_DOUBLE_EQ(model.GetPair(0, 3, 9).greater, 0.5);
+}
+
+TEST(HashedModelTest, CertainOrderIsAStrictTotalOrder) {
+  HashedPreferenceModel model(7, HashedPreferenceModel::Style::kCertainOrder);
+  const ValueId n = 12;
+  // Antisymmetry and totality.
+  for (ValueId a = 0; a < n; ++a) {
+    for (ValueId b = a + 1; b < n; ++b) {
+      PrefPair pair = model.GetPair(0, a, b);
+      EXPECT_TRUE((pair.less == 1.0 && pair.greater == 0.0) ||
+                  (pair.less == 0.0 && pair.greater == 1.0));
+    }
+  }
+  // Transitivity of the induced order.
+  for (ValueId a = 0; a < n; ++a) {
+    for (ValueId b = 0; b < n; ++b) {
+      for (ValueId c = 0; c < n; ++c) {
+        if (a == b || b == c || a == c) continue;
+        if (model.GetPair(0, a, b).less == 1.0 &&
+            model.GetPair(0, b, c).less == 1.0) {
+          EXPECT_DOUBLE_EQ(model.GetPair(0, a, c).less, 1.0);
+        }
+      }
+    }
+  }
+}
+
+TEST(RationalModelTest, SetGetExact) {
+  RationalPreferenceModel model;
+  Rational third = Rational::FromRatio(1, 3).value();
+  Rational two_thirds = Rational::FromRatio(2, 3).value();
+  ASSERT_TRUE(model.Set(0, 1, 2, third, two_thirds).ok());
+  EXPECT_EQ(model.GetRational(0, 1, 2).less, third);
+  EXPECT_EQ(model.GetRational(0, 2, 1).less, two_thirds);
+  EXPECT_EQ(model.LessEqRational(0, 1, 1), Rational(1));
+  EXPECT_EQ(model.LessEqRational(0, 1, 2), third);
+}
+
+TEST(RationalModelTest, DefaultIsHalf) {
+  RationalPreferenceModel model;
+  EXPECT_EQ(model.GetRational(0, 4, 9).less,
+            Rational::FromRatio(1, 2).value());
+}
+
+TEST(RationalModelTest, DoubleViewMatchesRationals) {
+  RationalPreferenceModel model;
+  model.Set(1, 0, 1, Rational::FromRatio(3, 8).value(),
+            Rational::FromRatio(1, 8).value())
+      .CheckOK();
+  PrefPair pair = model.GetPair(1, 0, 1);
+  EXPECT_DOUBLE_EQ(pair.less, 0.375);
+  EXPECT_DOUBLE_EQ(pair.greater, 0.125);
+  // As a PreferenceModel it supports incomparability mass too.
+  EXPECT_DOUBLE_EQ(pair.incomparable(), 0.5);
+}
+
+TEST(RationalModelTest, SetRejectsInvalid) {
+  RationalPreferenceModel model;
+  Rational half = Rational::FromRatio(1, 2).value();
+  EXPECT_FALSE(model.Set(0, 1, 1, half, half).ok());
+  EXPECT_FALSE(model
+                   .Set(0, 1, 2, Rational::FromRatio(3, 4).value(),
+                        Rational::FromRatio(3, 4).value())
+                   .ok());
+  EXPECT_FALSE(model
+                   .Set(0, 1, 2, Rational::FromRatio(-1, 4).value(),
+                        Rational::FromRatio(1, 4).value())
+                   .ok());
+}
+
+}  // namespace
+}  // namespace skypref

@@ -1,0 +1,117 @@
+#include "src/reduction/dnf.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/solver.h"
+#include "src/util/random.h"
+
+namespace skypref {
+namespace {
+
+TEST(PositiveDnfTest, ValidateAcceptsWellFormed) {
+  PositiveDnf formula{4, {{0, 2}, {1, 3}, {2, 3}}};
+  EXPECT_TRUE(formula.Validate().ok());
+}
+
+TEST(PositiveDnfTest, ValidateRejectsMalformed) {
+  EXPECT_FALSE((PositiveDnf{2, {}}).Validate().ok());
+  EXPECT_FALSE((PositiveDnf{2, {{}}}).Validate().ok());
+  EXPECT_FALSE((PositiveDnf{2, {{0, 5}}}).Validate().ok());
+  EXPECT_FALSE((PositiveDnf{2, {{0, 0}}}).Validate().ok());
+}
+
+TEST(BruteForceCountTest, PaperExampleFormula) {
+  // (x1 ^ x3) v (x2 ^ x4) v (x3 ^ x4), 0-indexed as below. Counted by
+  // hand: 16 assignments, 8 satisfy (inclusion-exclusion: 12 - 5 + 1).
+  PositiveDnf formula{4, {{0, 2}, {1, 3}, {2, 3}}};
+  EXPECT_EQ(BruteForceCountSatisfying(formula).value(), 8u);
+}
+
+TEST(BruteForceCountTest, SimpleFormulas) {
+  EXPECT_EQ(BruteForceCountSatisfying(PositiveDnf{1, {{0}}}).value(), 1u);
+  EXPECT_EQ(BruteForceCountSatisfying(PositiveDnf{2, {{0}}}).value(), 2u);
+  EXPECT_EQ(BruteForceCountSatisfying(PositiveDnf{2, {{0}, {1}}}).value(), 3u);
+  EXPECT_EQ(BruteForceCountSatisfying(PositiveDnf{3, {{0, 1, 2}}}).value(),
+            1u);
+}
+
+TEST(BruteForceCountTest, RejectsHugeFormulas) {
+  PositiveDnf formula{31, {{0}}};
+  EXPECT_EQ(BruteForceCountSatisfying(formula).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(ReductionTest, StructureMatchesTheorem1) {
+  PositiveDnf formula{4, {{0, 2}, {1, 3}, {2, 3}}};
+  DnfReduction reduction = ReduceToSkylineInstance(formula).value();
+  EXPECT_EQ(reduction.dataset.dimensions(), 4u);
+  EXPECT_EQ(reduction.dataset.size(), 4u);  // target + 3 clauses
+  EXPECT_EQ(reduction.target, 0u);
+  EXPECT_EQ(reduction.used_literals, 4u);
+  // Clause (x0 ^ x2) -> object (1, 0, 1, 0).
+  EXPECT_EQ(reduction.dataset.value(1, 0), 1u);
+  EXPECT_EQ(reduction.dataset.value(1, 1), 0u);
+  EXPECT_EQ(reduction.dataset.value(1, 2), 1u);
+  EXPECT_EQ(reduction.dataset.value(1, 3), 0u);
+  // Preferences are unanimous 1/2 on used dimensions.
+  RationalPrefPair pair = reduction.preferences.GetRational(0, 0, 1);
+  EXPECT_EQ(pair.less, Rational::FromRatio(1, 2).value());
+  EXPECT_EQ(pair.greater, Rational::FromRatio(1, 2).value());
+}
+
+TEST(ReductionTest, DuplicateClausesCollapse) {
+  PositiveDnf formula{3, {{0, 1}, {1, 0}, {2}}};
+  DnfReduction reduction = ReduceToSkylineInstance(formula).value();
+  EXPECT_EQ(reduction.dataset.size(), 3u);  // target + 2 distinct clauses
+  EXPECT_TRUE(reduction.dataset.Validate().ok());
+}
+
+TEST(CountViaSkylineTest, MatchesBruteForceOnPaperFormula) {
+  PositiveDnf formula{4, {{0, 2}, {1, 3}, {2, 3}}};
+  EXPECT_EQ(CountSatisfyingViaSkyline(formula).value(), BigInt(8));
+}
+
+TEST(CountViaSkylineTest, UnusedLiteralsContributeFactorTwo) {
+  // x0 alone over 3 variables: 1 * 2^2 = 4 satisfying assignments.
+  PositiveDnf formula{3, {{0}}};
+  EXPECT_EQ(CountSatisfyingViaSkyline(formula).value(), BigInt(4));
+}
+
+TEST(CountViaSkylineTest, TautologyLikeAndEmptyIntersections) {
+  // All singleton clauses: complement counting, 2^3 - 1 = 7.
+  PositiveDnf formula{3, {{0}, {1}, {2}}};
+  EXPECT_EQ(CountSatisfyingViaSkyline(formula).value(), BigInt(7));
+}
+
+TEST(CountViaSkylineTest, RandomFormulasMatchBruteForce) {
+  Rng rng(404);
+  for (int trial = 0; trial < 25; ++trial) {
+    unsigned literals = static_cast<unsigned>(rng.NextInt(2, 8));
+    unsigned clause_count = static_cast<unsigned>(rng.NextInt(1, 5));
+    PositiveDnf formula;
+    formula.num_literals = literals;
+    for (unsigned c = 0; c < clause_count; ++c) {
+      std::vector<unsigned> clause;
+      for (unsigned x = 0; x < literals; ++x) {
+        if (rng.NextBernoulli(0.4)) clause.push_back(x);
+      }
+      if (clause.empty()) {
+        clause.push_back(static_cast<unsigned>(
+            rng.NextBounded(literals)));
+      }
+      formula.clauses.push_back(std::move(clause));
+    }
+    std::uint64_t expected = BruteForceCountSatisfying(formula).value();
+    BigInt via_skyline = CountSatisfyingViaSkyline(formula).value();
+    EXPECT_EQ(via_skyline, BigInt(expected)) << "trial " << trial;
+  }
+}
+
+TEST(CountViaSkylineTest, PropagatesValidationErrors) {
+  PositiveDnf bad{2, {{0, 0}}};
+  EXPECT_FALSE(CountSatisfyingViaSkyline(bad).ok());
+  EXPECT_FALSE(ReduceToSkylineInstance(bad).ok());
+}
+
+}  // namespace
+}  // namespace skypref

@@ -1,0 +1,84 @@
+#ifndef SKYPREF_TESTS_TEST_UTIL_H_
+#define SKYPREF_TESTS_TEST_UTIL_H_
+
+/// \file
+/// Shared fixtures: the paper's worked instances as golden references,
+/// and a seeded random-instance generator for property tests.
+///
+/// Both instances use the paper's "every pair equally preferred with
+/// probability 1/2" model.
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "src/model/dataset.h"
+#include "src/model/preference_model.h"
+#include "src/util/random.h"
+
+namespace skypref::testing {
+
+/// The Figure-1 observation instance. Rows: P1=(a,s), P2=(a,t), P3=(b,t)
+/// with value ids a=0,b=1 on dim 0 and s=0,t=1 on dim 1. With unanimous
+/// 1/2 preferences: sky(P1) = 1/2 (Sac wrongly says 3/8), sky(P2) = 1/4,
+/// sky(P3) = 1/2 (Sac wrongly says 3/8).
+inline Dataset Figure1Dataset() {
+  Dataset data(2);
+  data.Append({0, 0}).CheckOK();  // P1
+  data.Append({0, 1}).CheckOK();  // P2
+  data.Append({1, 1}).CheckOK();  // P3
+  return data;
+}
+
+/// The Example-1 / Figure-4 running instance. Rows: O=(0,0), Q1=(1,1),
+/// Q2=(1,0), Q3=(2,2), Q4=(0,1). With unanimous 1/2 preferences:
+///   Pr(e1)=1/4, Pr(e2)=1/2, Pr(e3)=1/4, Pr(e4)=1/2,
+///   inclusion-exclusion levels 24/16, 17/16, 7/16, 1/16,
+///   sky(O) = 3/16 (the independent baseline wrongly says 9/64),
+///   Q1 is absorbed by Q2, and the remaining candidates split into the
+///   three singleton groups {Q2}, {Q3}, {Q4}.
+inline Dataset Example1Dataset() {
+  Dataset data(2);
+  data.Append({0, 0}).CheckOK();  // O
+  data.Append({1, 1}).CheckOK();  // Q1
+  data.Append({1, 0}).CheckOK();  // Q2
+  data.Append({2, 2}).CheckOK();  // Q3
+  data.Append({0, 1}).CheckOK();  // Q4
+  return data;
+}
+
+/// Unanimous-1/2 preferences as an explicit rational table over the
+/// dataset's value universe (usable both exactly and as doubles).
+inline RationalPreferenceModel UnanimousHalfRational(const Dataset& data) {
+  RationalPreferenceModel model;
+  const Rational half(BigInt(1), BigInt(2));
+  for (DimensionId j = 0; j < data.dimensions(); ++j) {
+    ValueId bound = data.value_bound(j);
+    for (ValueId a = 0; a < bound; ++a) {
+      for (ValueId b = a + 1; b < bound; ++b) {
+        model.Set(j, a, b, half, half).CheckOK();
+      }
+    }
+  }
+  return model;
+}
+
+/// A random duplicate-free dataset with small per-dimension domains, for
+/// property tests (dependence through shared values is ubiquitous).
+inline Dataset RandomSmallDataset(std::uint64_t seed, std::size_t objects,
+                                  std::size_t dimensions, ValueId values) {
+  Rng rng(seed);
+  Dataset data(dimensions);
+  std::set<std::vector<ValueId>> seen;
+  std::vector<ValueId> row(dimensions);
+  while (data.size() < objects) {
+    for (auto& v : row) v = static_cast<ValueId>(rng.NextBounded(values));
+    if (!seen.insert(row).second) continue;
+    data.Append(row).CheckOK();
+  }
+  return data;
+}
+
+}  // namespace skypref::testing
+
+#endif  // SKYPREF_TESTS_TEST_UTIL_H_

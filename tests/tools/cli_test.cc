@@ -1,0 +1,121 @@
+/// End-to-end tests of the skyprob CLI binary: each invocation is a real
+/// process; stdout is captured through a temp file. The binary path is
+/// injected by CMake as SKYPROB_PATH.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/io/csv.h"
+
+namespace skypref {
+namespace {
+
+struct CommandResult {
+  int exit_code;
+  std::string output;
+};
+
+CommandResult RunCli(const std::string& arguments) {
+  std::string out_path = ::testing::TempDir() + "/skyprob_cli_out.txt";
+  std::string command = std::string(SKYPROB_PATH) + " " + arguments + " > " +
+                        out_path + " 2>&1";
+  int raw = std::system(command.c_str());
+  CommandResult result;
+  result.exit_code = raw == -1 ? -1 : WEXITSTATUS(raw);
+  auto contents = ReadFile(out_path);
+  result.output = contents.ok() ? contents.value() : "";
+  std::remove(out_path.c_str());
+  return result;
+}
+
+std::string TempCsv() {
+  return ::testing::TempDir() + "/skyprob_cli_data.csv";
+}
+
+TEST(CliTest, NoArgumentsPrintsUsageAndFails) {
+  CommandResult result = RunCli("");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("usage:"), std::string::npos);
+}
+
+TEST(CliTest, UnknownCommandFails) {
+  CommandResult result = RunCli("frobnicate");
+  EXPECT_EQ(result.exit_code, 2);
+}
+
+TEST(CliTest, GenerateSolveInspectPipeline) {
+  std::string path = TempCsv();
+  CommandResult generate = RunCli(
+      "generate --kind=blockzipf --objects=200 --dims=3 --out=" + path);
+  ASSERT_EQ(generate.exit_code, 0) << generate.output;
+  EXPECT_NE(generate.output.find("wrote 200 objects x 3 dims"),
+            std::string::npos);
+
+  CommandResult inspect = RunCli("inspect --data=" + path + " --target=5");
+  EXPECT_EQ(inspect.exit_code, 0) << inspect.output;
+  EXPECT_NE(inspect.output.find("200 objects x 3 dims"), std::string::npos);
+
+  for (const char* algo : {"det+", "sam+", "sac", "adaptive", "bounds"}) {
+    CommandResult solve =
+        RunCli("solve --data=" + path + " --target=5 --algo=" + algo +
+               " --pref-seed=3 --samples=500");
+    EXPECT_EQ(solve.exit_code, 0) << algo << ": " << solve.output;
+    EXPECT_NE(solve.output.find("sky(object 5)"), std::string::npos)
+        << algo;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CliTest, BinaryDatasetRoundTrip) {
+  std::string path = ::testing::TempDir() + "/skyprob_cli_data.skyd";
+  CommandResult generate = RunCli(
+      "generate --kind=uniform --objects=40 --dims=3 --out=" + path);
+  ASSERT_EQ(generate.exit_code, 0) << generate.output;
+  CommandResult solve =
+      RunCli("solve --data=" + path + " --target=1 --algo=sam --samples=200");
+  EXPECT_EQ(solve.exit_code, 0) << solve.output;
+  std::remove(path.c_str());
+}
+
+TEST(CliTest, SkycubeAndTopK) {
+  std::string path = TempCsv();
+  ASSERT_EQ(
+      RunCli("generate --kind=nursery --dims=3 --out=" + path).exit_code, 0);
+  CommandResult cube =
+      RunCli("skycube --data=" + path + " --target=7 --pref-seed=5");
+  EXPECT_EQ(cube.exit_code, 0) << cube.output;
+  EXPECT_NE(cube.output.find("7 cells"), std::string::npos);
+  EXPECT_NE(cube.output.find("parents"), std::string::npos);
+
+  CommandResult topk = RunCli("topk --data=" + path +
+                              " --k=3 --method=sample --samples=2000");
+  EXPECT_EQ(topk.exit_code, 0) << topk.output;
+  EXPECT_NE(topk.output.find("top-3"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CliTest, SkylineThresholdQuery) {
+  std::string path = TempCsv();
+  ASSERT_EQ(RunCli("generate --kind=blockzipf --objects=100 --dims=2 "
+                   "--block-size=5 --values=4 --out=" + path)
+                .exit_code,
+            0);
+  CommandResult skyline =
+      RunCli("skyline --data=" + path + " --tau=0.5 --method=sample "
+             "--samples=1000 --pref-seed=2");
+  EXPECT_EQ(skyline.exit_code, 0) << skyline.output;
+  EXPECT_NE(skyline.output.find("probabilistic skyline"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CliTest, MissingDataFileFailsGracefully) {
+  CommandResult result =
+      RunCli("solve --data=/nonexistent/nope.csv --target=0");
+  EXPECT_NE(result.exit_code, 0);
+}
+
+}  // namespace
+}  // namespace skypref

@@ -1,0 +1,184 @@
+#include "src/util/bigint.h"
+
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "src/util/random.h"
+
+namespace skypref {
+namespace {
+
+TEST(BigIntTest, DefaultIsZero) {
+  BigInt zero;
+  EXPECT_TRUE(zero.is_zero());
+  EXPECT_FALSE(zero.is_negative());
+  EXPECT_EQ(zero.ToString(), "0");
+  EXPECT_EQ(zero.BitLength(), 0u);
+}
+
+TEST(BigIntTest, ConstructionFromInt64) {
+  EXPECT_EQ(BigInt(std::int64_t{12345}).ToString(), "12345");
+  EXPECT_EQ(BigInt(std::int64_t{-12345}).ToString(), "-12345");
+  EXPECT_EQ(BigInt(INT64_MIN).ToString(), "-9223372036854775808");
+  EXPECT_EQ(BigInt(INT64_MAX).ToString(), "9223372036854775807");
+}
+
+TEST(BigIntTest, ConstructionFromUint64) {
+  EXPECT_EQ(BigInt(UINT64_MAX).ToString(), "18446744073709551615");
+}
+
+TEST(BigIntTest, FromStringRoundTrip) {
+  const char* cases[] = {"0",
+                         "7",
+                         "-7",
+                         "4294967296",
+                         "18446744073709551616",
+                         "-340282366920938463463374607431768211456",
+                         "99999999999999999999999999999999999999"};
+  for (const char* text : cases) {
+    auto value = BigInt::FromString(text);
+    ASSERT_TRUE(value.ok()) << text;
+    EXPECT_EQ(value.value().ToString(), text);
+  }
+}
+
+TEST(BigIntTest, FromStringNormalizesSignedZeroAndPlus) {
+  EXPECT_EQ(BigInt::FromString("-0").value().ToString(), "0");
+  EXPECT_EQ(BigInt::FromString("+17").value().ToString(), "17");
+  EXPECT_EQ(BigInt::FromString("007").value().ToString(), "7");
+}
+
+TEST(BigIntTest, FromStringRejectsGarbage) {
+  EXPECT_FALSE(BigInt::FromString("").ok());
+  EXPECT_FALSE(BigInt::FromString("-").ok());
+  EXPECT_FALSE(BigInt::FromString("12a").ok());
+  EXPECT_FALSE(BigInt::FromString("0x10").ok());
+}
+
+TEST(BigIntTest, AdditionCarriesAcrossLimbs) {
+  BigInt a = BigInt::FromString("4294967295").value();  // 2^32 - 1
+  EXPECT_EQ((a + BigInt(1)).ToString(), "4294967296");
+  BigInt big = BigInt::FromString("18446744073709551615").value();
+  EXPECT_EQ((big + big).ToString(), "36893488147419103230");
+}
+
+TEST(BigIntTest, SubtractionBorrowsAndFlipsSign) {
+  EXPECT_EQ((BigInt(5) - BigInt(9)).ToString(), "-4");
+  EXPECT_EQ((BigInt(-5) - BigInt(-9)).ToString(), "4");
+  BigInt big = BigInt::FromString("18446744073709551616").value();
+  EXPECT_EQ((big - BigInt(1)).ToString(), "18446744073709551615");
+}
+
+TEST(BigIntTest, MultiplicationSchoolbook) {
+  BigInt a = BigInt::FromString("123456789123456789").value();
+  BigInt b = BigInt::FromString("987654321987654321").value();
+  EXPECT_EQ((a * b).ToString(), "121932631356500531347203169112635269");
+  EXPECT_EQ((a * BigInt(0)).ToString(), "0");
+  EXPECT_EQ((a * BigInt(-1)).ToString(), "-123456789123456789");
+}
+
+TEST(BigIntTest, DivModTruncatesTowardZero) {
+  EXPECT_EQ((BigInt(7) / BigInt(2)).ToString(), "3");
+  EXPECT_EQ((BigInt(7) % BigInt(2)).ToString(), "1");
+  EXPECT_EQ((BigInt(-7) / BigInt(2)).ToString(), "-3");
+  EXPECT_EQ((BigInt(-7) % BigInt(2)).ToString(), "-1");
+  EXPECT_EQ((BigInt(7) / BigInt(-2)).ToString(), "-3");
+  EXPECT_EQ((BigInt(7) % BigInt(-2)).ToString(), "1");
+}
+
+TEST(BigIntTest, DivModLargeOperands) {
+  BigInt a = BigInt::FromString("121932631356500531347203169112635269").value();
+  BigInt b = BigInt::FromString("987654321987654321").value();
+  EXPECT_EQ((a / b).ToString(), "123456789123456789");
+  EXPECT_EQ((a % b).ToString(), "0");
+  BigInt c = a + BigInt(42);
+  EXPECT_EQ((c / b).ToString(), "123456789123456789");
+  EXPECT_EQ((c % b).ToString(), "42");
+}
+
+TEST(BigIntTest, ComparisonTotalOrder) {
+  EXPECT_LT(BigInt(-2), BigInt(-1));
+  EXPECT_LT(BigInt(-1), BigInt(0));
+  EXPECT_LT(BigInt(0), BigInt(1));
+  EXPECT_LT(BigInt(1), BigInt::FromString("4294967296").value());
+  EXPECT_EQ(BigInt(5), BigInt(5));
+  EXPECT_GE(BigInt(5), BigInt(5));
+  EXPECT_GT(BigInt(6), BigInt(5));
+  EXPECT_NE(BigInt(6), BigInt(5));
+}
+
+TEST(BigIntTest, GcdBasics) {
+  EXPECT_EQ(BigInt::Gcd(BigInt(12), BigInt(18)).ToString(), "6");
+  EXPECT_EQ(BigInt::Gcd(BigInt(-12), BigInt(18)).ToString(), "6");
+  EXPECT_EQ(BigInt::Gcd(BigInt(0), BigInt(5)).ToString(), "5");
+  EXPECT_EQ(BigInt::Gcd(BigInt(0), BigInt(0)).ToString(), "0");
+  EXPECT_EQ(BigInt::Gcd(BigInt(17), BigInt(13)).ToString(), "1");
+}
+
+TEST(BigIntTest, PowerOfTwo) {
+  EXPECT_EQ(BigInt::PowerOfTwo(0).ToString(), "1");
+  EXPECT_EQ(BigInt::PowerOfTwo(10).ToString(), "1024");
+  EXPECT_EQ(BigInt::PowerOfTwo(64).ToString(), "18446744073709551616");
+  EXPECT_EQ(BigInt::PowerOfTwo(100).ToString(),
+            "1267650600228229401496703205376");
+}
+
+TEST(BigIntTest, ToDouble) {
+  EXPECT_DOUBLE_EQ(BigInt(1024).ToDouble(), 1024.0);
+  EXPECT_DOUBLE_EQ(BigInt(-3).ToDouble(), -3.0);
+  EXPECT_DOUBLE_EQ(BigInt::PowerOfTwo(64).ToDouble(), 0x1.0p64);
+}
+
+TEST(BigIntTest, ToInt64) {
+  std::int64_t out = 0;
+  EXPECT_TRUE(BigInt(INT64_MAX).ToInt64(&out));
+  EXPECT_EQ(out, INT64_MAX);
+  EXPECT_TRUE(BigInt(INT64_MIN).ToInt64(&out));
+  EXPECT_EQ(out, INT64_MIN);
+  EXPECT_FALSE(BigInt::PowerOfTwo(63).ToInt64(&out));        // 2^63 overflows
+  EXPECT_TRUE((-BigInt::PowerOfTwo(63)).ToInt64(&out));      // -2^63 fits
+  EXPECT_EQ(out, INT64_MIN);
+  EXPECT_FALSE(BigInt::PowerOfTwo(100).ToInt64(&out));
+}
+
+TEST(BigIntTest, BitLength) {
+  EXPECT_EQ(BigInt(1).BitLength(), 1u);
+  EXPECT_EQ(BigInt(255).BitLength(), 8u);
+  EXPECT_EQ(BigInt(256).BitLength(), 9u);
+  EXPECT_EQ(BigInt::PowerOfTwo(100).BitLength(), 101u);
+}
+
+// Randomized cross-check against native 64-bit arithmetic.
+TEST(BigIntTest, RandomizedAgainstNativeArithmetic) {
+  Rng rng(2026);
+  for (int trial = 0; trial < 2000; ++trial) {
+    // Keep operands small enough that sums and products fit in int64.
+    std::int64_t xa = rng.NextInt(-1000000000LL, 1000000000LL);
+    std::int64_t xb = rng.NextInt(-1000000000LL, 1000000000LL);
+    BigInt a(xa), b(xb);
+    EXPECT_EQ((a + b).ToDouble(), static_cast<double>(xa + xb));
+    EXPECT_EQ((a * b).ToDouble(), static_cast<double>(xa * xb));
+    if (xb != 0) {
+      EXPECT_EQ((a / b).ToDouble(), static_cast<double>(xa / xb));
+      EXPECT_EQ((a % b).ToDouble(), static_cast<double>(xa % xb));
+    }
+  }
+}
+
+TEST(BigIntTest, DivModIdentityRandomized) {
+  Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    // Build operands of a few limbs.
+    BigInt a(rng.NextUint64());
+    a = a * BigInt(rng.NextUint64()) + BigInt(rng.NextUint64());
+    BigInt b(rng.NextUint64() | 1);
+    BigInt q, r;
+    BigInt::DivMod(a, b, &q, &r);
+    EXPECT_EQ(q * b + r, a);
+    EXPECT_LT(r.Abs(), b.Abs());
+  }
+}
+
+}  // namespace
+}  // namespace skypref

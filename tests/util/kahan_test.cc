@@ -1,0 +1,75 @@
+#include "src/util/kahan.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/util/random.h"
+
+namespace skypref {
+namespace {
+
+TEST(KahanSumTest, EmptyIsZero) {
+  KahanSum sum;
+  EXPECT_EQ(sum.Value(), 0.0);
+}
+
+TEST(KahanSumTest, InitialValueRespected) {
+  KahanSum sum(2.5);
+  sum.Add(0.5);
+  EXPECT_DOUBLE_EQ(sum.Value(), 3.0);
+}
+
+TEST(KahanSumTest, RecoversSmallTermsNextToHugeOnes) {
+  // Naive summation loses the 1.0 terms entirely.
+  KahanSum sum;
+  sum.Add(1e16);
+  for (int i = 0; i < 1000; ++i) sum.Add(1.0);
+  sum.Add(-1e16);
+  EXPECT_DOUBLE_EQ(sum.Value(), 1000.0);
+}
+
+TEST(KahanSumTest, NeumaierHandlesTermLargerThanSum) {
+  // Classic case where plain Kahan fails but Neumaier succeeds.
+  KahanSum sum;
+  sum.Add(1.0);
+  sum.Add(1e100);
+  sum.Add(1.0);
+  sum.Add(-1e100);
+  EXPECT_DOUBLE_EQ(sum.Value(), 2.0);
+}
+
+TEST(KahanSumTest, AlternatingSeriesStaysAccurate) {
+  // sum_{k=1..n} (-1)^{k+1}/k -> ln 2; compensation keeps the tail exact
+  // to near machine precision for moderate n.
+  KahanSum sum;
+  const int n = 1000000;
+  for (int k = 1; k <= n; ++k) {
+    sum.Add((k % 2 == 1 ? 1.0 : -1.0) / k);
+  }
+  // Alternating series remainder is bounded by the next term.
+  EXPECT_NEAR(sum.Value(), std::log(2.0), 1.0 / n);
+}
+
+TEST(KahanSumTest, MatchesLongDoubleReferenceOnRandomData) {
+  Rng rng(77);
+  KahanSum sum;
+  long double reference = 0.0L;
+  for (int i = 0; i < 100000; ++i) {
+    double term = (rng.NextDouble() - 0.5) * std::pow(10.0, rng.NextInt(-8, 8));
+    sum.Add(term);
+    reference += static_cast<long double>(term);
+  }
+  EXPECT_NEAR(sum.Value(), static_cast<double>(reference),
+              std::abs(static_cast<double>(reference)) * 1e-12 + 1e-12);
+}
+
+TEST(KahanSumTest, OperatorPlusEquals) {
+  KahanSum sum;
+  sum += 1.5;
+  sum += 2.5;
+  EXPECT_DOUBLE_EQ(sum.Value(), 4.0);
+}
+
+}  // namespace
+}  // namespace skypref

@@ -1,0 +1,78 @@
+#include "src/util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace skypref {
+namespace {
+
+TEST(StrSplitTest, SplitsOnDelimiter) {
+  EXPECT_EQ(StrSplit("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(StrSplitTest, AdjacentDelimitersYieldEmptyFields) {
+  EXPECT_EQ(StrSplit("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(StrSplit(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(StrSplitTest, EmptyInputYieldsSingleEmptyField) {
+  EXPECT_EQ(StrSplit("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StrSplitTest, NoDelimiterYieldsWholeInput) {
+  EXPECT_EQ(StrSplit("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(StrTrimTest, TrimsBothEnds) {
+  EXPECT_EQ(StrTrim("  x y \t\n"), "x y");
+  EXPECT_EQ(StrTrim("xy"), "xy");
+}
+
+TEST(StrTrimTest, AllWhitespaceBecomesEmpty) {
+  EXPECT_EQ(StrTrim(" \t \r\n"), "");
+  EXPECT_EQ(StrTrim(""), "");
+}
+
+TEST(StrJoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(StrJoin({"solo"}, ","), "solo");
+  EXPECT_EQ(StrJoin({}, ","), "");
+}
+
+TEST(StartsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_TRUE(StartsWith("foo", ""));
+  EXPECT_FALSE(StartsWith("fo", "foo"));
+  EXPECT_FALSE(StartsWith("xfoo", "foo"));
+}
+
+TEST(ParseInt64Test, ParsesValidIntegers) {
+  EXPECT_EQ(ParseInt64("42").value(), 42);
+  EXPECT_EQ(ParseInt64("-7").value(), -7);
+  EXPECT_EQ(ParseInt64("  13 ").value(), 13);
+  EXPECT_EQ(ParseInt64("9223372036854775807").value(), INT64_MAX);
+}
+
+TEST(ParseInt64Test, RejectsGarbage) {
+  EXPECT_EQ(ParseInt64("").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseInt64("12x").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseInt64("1.5").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseInt64("99999999999999999999").status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(ParseDoubleTest, ParsesValidDoubles) {
+  EXPECT_DOUBLE_EQ(ParseDouble("0.25").value(), 0.25);
+  EXPECT_DOUBLE_EQ(ParseDouble("-1e-3").value(), -0.001);
+  EXPECT_DOUBLE_EQ(ParseDouble(" 2 ").value(), 2.0);
+}
+
+TEST(ParseDoubleTest, RejectsGarbage) {
+  EXPECT_EQ(ParseDouble("").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseDouble("0.5pm").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseDouble("1e999").status().code(), StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace skypref

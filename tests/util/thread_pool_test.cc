@@ -1,0 +1,85 @@
+#include "src/util/thread_pool.h"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace skypref {
+namespace {
+
+TEST(ThreadPoolTest, ZeroThreadsRunsInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.thread_count(), 0u);
+  std::vector<int> hits(100, 0);
+  pool.ParallelFor(100, [&](std::size_t i) { hits[i] = 1; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 100);
+}
+
+TEST(ThreadPoolTest, EveryIndexRunsExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(10000);
+  pool.ParallelFor(10000, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ThreadPoolTest, EmptyRangeIsANoop) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.ParallelFor(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolTest, CountSmallerThanThreads) {
+  ThreadPool pool(8);
+  std::atomic<int> total{0};
+  pool.ParallelFor(3, [&](std::size_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 3);
+}
+
+TEST(ThreadPoolTest, SequentialBatchesReuseWorkers) {
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.ParallelFor(20, [&](std::size_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 1000);
+}
+
+TEST(ThreadPoolTest, ActuallyUsesMultipleThreads) {
+  ThreadPool pool(3);
+  std::mutex mutex;
+  std::set<std::thread::id> seen;
+  pool.ParallelFor(64, [&](std::size_t) {
+    // Enough work per task that the workers wake up before the calling
+    // thread has drained the whole range.
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    std::lock_guard<std::mutex> lock(mutex);
+    seen.insert(std::this_thread::get_id());
+  });
+  EXPECT_GE(seen.size(), 2u);
+}
+
+TEST(ThreadPoolTest, ParallelSumMatchesSerial) {
+  ThreadPool pool(4);
+  const std::size_t n = 1 << 16;
+  std::vector<std::uint64_t> values(n);
+  pool.ParallelFor(n, [&](std::size_t i) { values[i] = i * i; });
+  std::uint64_t expected = 0;
+  for (std::size_t i = 0; i < n; ++i) expected += i * i;
+  std::uint64_t actual = 0;
+  for (std::uint64_t v : values) actual += v;
+  EXPECT_EQ(actual, expected);
+}
+
+TEST(ThreadPoolTest, DefaultThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::DefaultThreads(), 1u);
+}
+
+}  // namespace
+}  // namespace skypref

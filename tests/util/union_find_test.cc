@@ -1,0 +1,69 @@
+#include "src/util/union_find.h"
+
+#include <gtest/gtest.h>
+
+namespace skypref {
+namespace {
+
+TEST(UnionFindTest, StartsAsSingletons) {
+  UnionFind uf(4);
+  EXPECT_EQ(uf.component_count(), 4u);
+  EXPECT_EQ(uf.element_count(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(uf.Find(i), i);
+    EXPECT_EQ(uf.SetSize(i), 1u);
+  }
+  EXPECT_FALSE(uf.Connected(0, 1));
+}
+
+TEST(UnionFindTest, UnionMerges) {
+  UnionFind uf(5);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_TRUE(uf.Connected(0, 1));
+  EXPECT_EQ(uf.component_count(), 4u);
+  EXPECT_EQ(uf.SetSize(0), 2u);
+  EXPECT_FALSE(uf.Union(1, 0));  // already merged
+  EXPECT_EQ(uf.component_count(), 4u);
+}
+
+TEST(UnionFindTest, TransitiveConnectivity) {
+  UnionFind uf(6);
+  uf.Union(0, 1);
+  uf.Union(1, 2);
+  uf.Union(4, 5);
+  EXPECT_TRUE(uf.Connected(0, 2));
+  EXPECT_TRUE(uf.Connected(4, 5));
+  EXPECT_FALSE(uf.Connected(2, 4));
+  EXPECT_FALSE(uf.Connected(3, 0));
+  EXPECT_EQ(uf.component_count(), 3u);
+  EXPECT_EQ(uf.SetSize(2), 3u);
+}
+
+TEST(UnionFindTest, ComponentsGroupsByRepresentative) {
+  UnionFind uf(6);
+  uf.Union(0, 3);
+  uf.Union(1, 4);
+  uf.Union(4, 5);
+  auto components = uf.Components();
+  ASSERT_EQ(components.size(), 3u);
+  EXPECT_EQ(components[0], (std::vector<std::size_t>{0, 3}));
+  EXPECT_EQ(components[1], (std::vector<std::size_t>{1, 4, 5}));
+  EXPECT_EQ(components[2], (std::vector<std::size_t>{2}));
+}
+
+TEST(UnionFindTest, MergeAllIntoOne) {
+  UnionFind uf(100);
+  for (std::size_t i = 1; i < 100; ++i) uf.Union(0, i);
+  EXPECT_EQ(uf.component_count(), 1u);
+  EXPECT_EQ(uf.SetSize(99), 100u);
+  EXPECT_TRUE(uf.Connected(17, 83));
+}
+
+TEST(UnionFindTest, SingleElement) {
+  UnionFind uf(1);
+  EXPECT_EQ(uf.component_count(), 1u);
+  EXPECT_EQ(uf.Components().size(), 1u);
+}
+
+}  // namespace
+}  // namespace skypref

@@ -1,0 +1,74 @@
+#include "src/workload/car_evaluation.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/solver.h"
+#include "src/model/preference_model.h"
+
+namespace skypref {
+namespace {
+
+TEST(CarEvaluationTest, FullDatasetHasUciCardinality) {
+  CarEvaluationVariant car = GenerateCarEvaluation().value();
+  EXPECT_EQ(car.dataset.size(), 1728u);  // 4*4*4*3*3*3
+  EXPECT_EQ(car.dataset.dimensions(), 6u);
+  EXPECT_TRUE(car.dataset.Validate().ok());
+}
+
+TEST(CarEvaluationTest, DomainMatchesUciSchema) {
+  Domain domain = CarEvaluationDomain();
+  EXPECT_EQ(domain.dimensions(), 6u);
+  EXPECT_EQ(domain.dimension_name(0), "buying");
+  EXPECT_EQ(domain.dimension_name(5), "safety");
+  EXPECT_EQ(domain.value_count(0), 4u);
+  EXPECT_EQ(domain.value_count(3), 3u);
+  EXPECT_EQ(domain.value_name(0, 3), "low");
+  EXPECT_EQ(domain.FindValue(5, "high").value(), 2u);
+}
+
+TEST(CarEvaluationTest, ProjectionCardinalities) {
+  EXPECT_EQ(GenerateCarEvaluationProjection(1).value().dataset.size(), 4u);
+  EXPECT_EQ(GenerateCarEvaluationProjection(3).value().dataset.size(), 64u);
+  EXPECT_EQ(GenerateCarEvaluationProjection(6).value().dataset.size(),
+            1728u);
+  EXPECT_FALSE(GenerateCarEvaluationProjection(0).ok());
+  EXPECT_FALSE(GenerateCarEvaluationProjection(7).ok());
+}
+
+TEST(CarEvaluationTest, SolvesEndToEndLikeNursery) {
+  // Full-product structure: absorption must collapse to the per-dimension
+  // one-value-different rivals (sum over dims of (|D_j| - 1) = 15).
+  CarEvaluationVariant car = GenerateCarEvaluation().value();
+  HashedPreferenceModel prefs(3, HashedPreferenceModel::Style::kTotalUniform);
+  auto solver = SkylineSolver::Create(car.dataset, prefs).value();
+  SolveStats stats;
+  double sky = solver.Exact(864, {}, &stats).value();
+  EXPECT_GE(sky, 0.0);
+  EXPECT_LE(sky, 1.0);
+  EXPECT_EQ(stats.after_absorption, 15u);
+  EXPECT_EQ(stats.groups, 15u);
+}
+
+TEST(ExpectedSkylineCardinalityTest, MatchesManualSum) {
+  CarEvaluationVariant car = GenerateCarEvaluationProjection(2).value();
+  HashedPreferenceModel prefs(9, HashedPreferenceModel::Style::kTotalUniform);
+  double expected = 0.0;
+  auto solver = SkylineSolver::Create(car.dataset, prefs).value();
+  for (ObjectId i = 0; i < car.dataset.size(); ++i) {
+    expected += solver.Exact(i).value();
+  }
+  EXPECT_NEAR(ExpectedSkylineCardinality(car.dataset, prefs).value(),
+              expected, 1e-12);
+  EXPECT_GE(expected, 0.0);
+  EXPECT_LE(expected, static_cast<double>(car.dataset.size()));
+}
+
+TEST(ExpectedSkylineCardinalityTest, ValidatesDataset) {
+  Dataset empty(1);
+  TablePreferenceModel model;
+  EXPECT_EQ(ExpectedSkylineCardinality(empty, model).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace skypref

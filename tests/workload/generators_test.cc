@@ -1,0 +1,170 @@
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/partition.h"
+#include "src/workload/block_zipf_generator.h"
+#include "src/workload/uniform_generator.h"
+
+namespace skypref {
+namespace {
+
+TEST(UniformGeneratorTest, ProducesRequestedShape) {
+  UniformOptions options;
+  options.objects = 100;
+  options.dimensions = 4;
+  options.values_per_dimension = 10;
+  options.seed = 3;
+  Dataset data = GenerateUniform(options).value();
+  EXPECT_EQ(data.size(), 100u);
+  EXPECT_EQ(data.dimensions(), 4u);
+  EXPECT_TRUE(data.Validate().ok());
+  for (DimensionId j = 0; j < 4; ++j) {
+    EXPECT_LE(data.value_bound(j), 10u);
+  }
+}
+
+TEST(UniformGeneratorTest, DeterministicPerSeed) {
+  UniformOptions options;
+  options.objects = 30;
+  options.seed = 7;
+  Dataset a = GenerateUniform(options).value();
+  Dataset b = GenerateUniform(options).value();
+  for (ObjectId i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(a.SameObject(i, i));
+    for (DimensionId j = 0; j < a.dimensions(); ++j) {
+      EXPECT_EQ(a.value(i, j), b.value(i, j));
+    }
+  }
+  options.seed = 8;
+  Dataset c = GenerateUniform(options).value();
+  bool differs = false;
+  for (ObjectId i = 0; i < a.size() && !differs; ++i) {
+    for (DimensionId j = 0; j < a.dimensions(); ++j) {
+      if (a.value(i, j) != c.value(i, j)) {
+        differs = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(UniformGeneratorTest, ExhaustsTinyDomainsExactly) {
+  UniformOptions options;
+  options.objects = 8;
+  options.dimensions = 3;
+  options.values_per_dimension = 2;
+  Dataset data = GenerateUniform(options).value();
+  EXPECT_EQ(data.size(), 8u);  // the full {0,1}^3 cube
+  EXPECT_TRUE(data.Validate().ok());
+}
+
+TEST(UniformGeneratorTest, RejectsImpossibleRequests) {
+  UniformOptions options;
+  options.objects = 9;
+  options.dimensions = 3;
+  options.values_per_dimension = 2;  // capacity 8 < 9
+  EXPECT_EQ(GenerateUniform(options).status().code(),
+            StatusCode::kInvalidArgument);
+  options.objects = 0;
+  EXPECT_FALSE(GenerateUniform(options).ok());
+}
+
+TEST(BlockZipfTest, ProducesRequestedShape) {
+  BlockZipfOptions options;
+  options.objects = 200;
+  options.dimensions = 3;
+  options.block_size = 10;
+  options.values_per_block = 6;
+  options.seed = 5;
+  Dataset data = GenerateBlockZipf(options).value();
+  EXPECT_EQ(data.size(), 200u);
+  EXPECT_EQ(data.dimensions(), 3u);
+  EXPECT_TRUE(data.Validate().ok());
+}
+
+TEST(BlockZipfTest, BlocksAreValueDisjoint) {
+  BlockZipfOptions options;
+  options.objects = 120;
+  options.dimensions = 2;
+  options.block_size = 8;
+  options.values_per_block = 5;
+  options.seed = 11;
+  Dataset data = GenerateBlockZipf(options).value();
+  // Object i belongs to block i / block_size; its values must sit in the
+  // block's dedicated id range.
+  for (ObjectId i = 0; i < data.size(); ++i) {
+    ValueId base = static_cast<ValueId>(i / options.block_size) *
+                   options.values_per_block;
+    for (DimensionId j = 0; j < data.dimensions(); ++j) {
+      EXPECT_GE(data.value(i, j), base);
+      EXPECT_LT(data.value(i, j), base + options.values_per_block);
+    }
+  }
+}
+
+TEST(BlockZipfTest, PartitionRecoversBlocksOrFiner) {
+  BlockZipfOptions options;
+  options.objects = 60;
+  options.dimensions = 3;
+  options.block_size = 6;
+  options.values_per_block = 4;
+  options.seed = 2;
+  Dataset data = GenerateBlockZipf(options).value();
+  std::vector<ObjectId> candidates;
+  for (ObjectId i = 1; i < data.size(); ++i) candidates.push_back(i);
+  auto groups = PartitionCandidates(data, 0, candidates);
+  // No group may span two blocks.
+  for (const auto& group : groups) {
+    std::set<std::size_t> blocks;
+    for (ObjectId id : group) blocks.insert(id / options.block_size);
+    EXPECT_EQ(blocks.size(), 1u);
+  }
+  // And there are at least as many groups as blocks among the candidates.
+  EXPECT_GE(groups.size(), 10u - 1u);
+}
+
+TEST(BlockZipfTest, ZipfSkewConcentratesOnSmallIds) {
+  BlockZipfOptions options;
+  options.objects = 2000;
+  options.dimensions = 2;
+  options.block_size = 10;
+  options.values_per_block = 8;
+  options.theta = 1.0;
+  options.seed = 21;
+  Dataset data = GenerateBlockZipf(options).value();
+  // Aggregate the within-block value offsets across all blocks.
+  std::vector<int> counts(8, 0);
+  for (ObjectId i = 0; i < data.size(); ++i) {
+    ++counts[data.value(i, 0) % options.values_per_block];
+  }
+  EXPECT_GT(counts[0], counts[4]);
+  EXPECT_GT(counts[0], counts[7]);
+}
+
+TEST(BlockZipfTest, LastPartialBlockIsHandled) {
+  BlockZipfOptions options;
+  options.objects = 25;
+  options.block_size = 10;
+  options.values_per_block = 6;
+  options.dimensions = 2;
+  Dataset data = GenerateBlockZipf(options).value();
+  EXPECT_EQ(data.size(), 25u);
+  EXPECT_TRUE(data.Validate().ok());
+}
+
+TEST(BlockZipfTest, RejectsImpossibleBlocks) {
+  BlockZipfOptions options;
+  options.block_size = 10;
+  options.values_per_block = 3;
+  options.dimensions = 2;  // capacity 9 < 10
+  EXPECT_EQ(GenerateBlockZipf(options).status().code(),
+            StatusCode::kInvalidArgument);
+  options.values_per_block = 0;
+  EXPECT_FALSE(GenerateBlockZipf(options).ok());
+}
+
+}  // namespace
+}  // namespace skypref

@@ -1,0 +1,73 @@
+#include "src/workload/nursery.h"
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace skypref {
+namespace {
+
+TEST(NurseryTest, FullDatasetHasUciCardinality) {
+  NurseryVariant nursery = GenerateNursery().value();
+  EXPECT_EQ(nursery.dataset.size(), 12960u);  // 3*5*4*4*3*2*3*3
+  EXPECT_EQ(nursery.dataset.dimensions(), 8u);
+  EXPECT_TRUE(nursery.dataset.Validate().ok());
+}
+
+TEST(NurseryTest, DomainMatchesUciSchema) {
+  Domain domain = NurseryDomain();
+  EXPECT_EQ(domain.dimensions(), 8u);
+  EXPECT_EQ(domain.dimension_name(0), "parents");
+  EXPECT_EQ(domain.dimension_name(7), "health");
+  EXPECT_EQ(domain.value_count(0), 3u);   // parents
+  EXPECT_EQ(domain.value_count(1), 5u);   // has_nurs
+  EXPECT_EQ(domain.value_count(2), 4u);   // form
+  EXPECT_EQ(domain.value_count(3), 4u);   // children
+  EXPECT_EQ(domain.value_count(4), 3u);   // housing
+  EXPECT_EQ(domain.value_count(5), 2u);   // finance
+  EXPECT_EQ(domain.value_count(6), 3u);   // social
+  EXPECT_EQ(domain.value_count(7), 3u);   // health
+  EXPECT_EQ(domain.value_name(0, 0), "usual");
+  EXPECT_EQ(domain.value_name(5, 1), "inconv");
+  EXPECT_EQ(domain.FindValue(7, "not_recom").value(), 2u);
+}
+
+TEST(NurseryTest, ProjectionCardinalities) {
+  EXPECT_EQ(GenerateNurseryProjection(1).value().dataset.size(), 3u);
+  EXPECT_EQ(GenerateNurseryProjection(2).value().dataset.size(), 15u);
+  EXPECT_EQ(GenerateNurseryProjection(4).value().dataset.size(), 240u);
+  EXPECT_EQ(GenerateNurseryProjection(8).value().dataset.size(), 12960u);
+}
+
+TEST(NurseryTest, ProjectionIsDuplicateFree) {
+  NurseryVariant projected = GenerateNurseryProjection(4).value();
+  EXPECT_TRUE(projected.dataset.Validate().ok());
+  EXPECT_EQ(projected.dataset.dimensions(), 4u);
+  EXPECT_EQ(projected.domain.dimensions(), 4u);
+}
+
+TEST(NurseryTest, EveryCombinationAppearsExactlyOnce) {
+  NurseryVariant nursery = GenerateNurseryProjection(3).value();
+  std::set<std::vector<ValueId>> combos;
+  for (ObjectId i = 0; i < nursery.dataset.size(); ++i) {
+    auto row = nursery.dataset.object(i);
+    combos.insert(std::vector<ValueId>(row.begin(), row.end()));
+  }
+  EXPECT_EQ(combos.size(), 60u);  // 3*5*4
+}
+
+TEST(NurseryTest, RejectsBadDimensionCounts) {
+  EXPECT_FALSE(GenerateNurseryProjection(0).ok());
+  EXPECT_FALSE(GenerateNurseryProjection(9).ok());
+}
+
+TEST(NurseryTest, ValueBoundsMatchDomainSizes) {
+  NurseryVariant nursery = GenerateNursery().value();
+  for (DimensionId j = 0; j < 8; ++j) {
+    EXPECT_EQ(nursery.dataset.value_bound(j), nursery.domain.value_count(j));
+  }
+}
+
+}  // namespace
+}  // namespace skypref

@@ -1,0 +1,76 @@
+#include "src/workload/zipf.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace skypref {
+namespace {
+
+TEST(ZipfTest, RejectsBadParameters) {
+  EXPECT_FALSE(ZipfDistribution::Create(0, 1.0).ok());
+  EXPECT_FALSE(ZipfDistribution::Create(10, -0.5).ok());
+}
+
+TEST(ZipfTest, MassSumsToOne) {
+  auto zipf = ZipfDistribution::Create(20, 1.0).value();
+  double total = 0.0;
+  for (std::size_t k = 0; k < 20; ++k) total += zipf.Mass(k);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_EQ(zipf.Mass(20), 0.0);
+}
+
+TEST(ZipfTest, MassIsMonotoneDecreasing) {
+  auto zipf = ZipfDistribution::Create(16, 1.0).value();
+  for (std::size_t k = 1; k < 16; ++k) {
+    EXPECT_LE(zipf.Mass(k), zipf.Mass(k - 1) + 1e-15);
+  }
+}
+
+TEST(ZipfTest, Theta1MatchesHarmonicRatios) {
+  auto zipf = ZipfDistribution::Create(8, 1.0).value();
+  // Mass(k) / Mass(0) == 1 / (k+1) for theta = 1.
+  for (std::size_t k = 0; k < 8; ++k) {
+    EXPECT_NEAR(zipf.Mass(k) / zipf.Mass(0), 1.0 / static_cast<double>(k + 1),
+                1e-12);
+  }
+}
+
+TEST(ZipfTest, ThetaZeroIsUniform) {
+  auto zipf = ZipfDistribution::Create(10, 0.0).value();
+  for (std::size_t k = 0; k < 10; ++k) {
+    EXPECT_NEAR(zipf.Mass(k), 0.1, 1e-12);
+  }
+}
+
+TEST(ZipfTest, SampleStaysInUniverse) {
+  auto zipf = ZipfDistribution::Create(5, 1.0).value();
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(zipf.Sample(rng), 5u);
+  }
+}
+
+TEST(ZipfTest, EmpiricalFrequenciesMatchMass) {
+  auto zipf = ZipfDistribution::Create(6, 1.0).value();
+  Rng rng(12);
+  const int n = 200000;
+  std::vector<int> counts(6, 0);
+  for (int i = 0; i < n; ++i) ++counts[zipf.Sample(rng)];
+  for (std::size_t k = 0; k < 6; ++k) {
+    double expected = zipf.Mass(k) * n;
+    EXPECT_NEAR(static_cast<double>(counts[k]), expected,
+                5.0 * std::sqrt(expected) + 5.0);
+  }
+}
+
+TEST(ZipfTest, SingletonUniverse) {
+  auto zipf = ZipfDistribution::Create(1, 1.0).value();
+  Rng rng(1);
+  EXPECT_EQ(zipf.Sample(rng), 0u);
+  EXPECT_DOUBLE_EQ(zipf.Mass(0), 1.0);
+}
+
+}  // namespace
+}  // namespace skypref
