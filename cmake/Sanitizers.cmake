@@ -1,0 +1,57 @@
+# Sanitizer wiring for skypref.
+#
+# SKYPREF_SANITIZE is a semicolon-separated list of sanitizers to enable
+# on every target in the build (library, tests, benches, tools):
+#
+#   -DSKYPREF_SANITIZE="address;undefined"   # the asan-ubsan preset
+#   -DSKYPREF_SANITIZE="thread"              # the tsan preset
+#
+# Supported values: address, undefined, leak, thread. ThreadSanitizer is
+# mutually exclusive with AddressSanitizer/LeakSanitizer (the runtimes
+# cannot coexist); combining them is a configure-time error rather than a
+# mysterious link failure.
+#
+# Any sanitized build also defines SKYPREF_ENABLE_DCHECKS=1 so the
+# SKYPREF_DCHECK / SKYPREF_DCHECK_PROB invariant layer (src/util/check.h)
+# is live even when the build type is Release-with-sanitizers.
+
+set(SKYPREF_SANITIZE "" CACHE STRING
+    "Semicolon-separated sanitizers to enable (address;undefined;leak;thread)")
+
+if(NOT SKYPREF_SANITIZE)
+  return()
+endif()
+
+set(_skypref_known_sanitizers address undefined leak thread)
+foreach(_san IN LISTS SKYPREF_SANITIZE)
+  if(NOT _san IN_LIST _skypref_known_sanitizers)
+    message(FATAL_ERROR
+        "SKYPREF_SANITIZE: unknown sanitizer '${_san}' "
+        "(supported: ${_skypref_known_sanitizers})")
+  endif()
+endforeach()
+
+if("thread" IN_LIST SKYPREF_SANITIZE AND
+   ("address" IN_LIST SKYPREF_SANITIZE OR "leak" IN_LIST SKYPREF_SANITIZE))
+  message(FATAL_ERROR
+      "SKYPREF_SANITIZE: 'thread' cannot be combined with 'address'/'leak'")
+endif()
+
+if(NOT CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+  message(FATAL_ERROR
+      "SKYPREF_SANITIZE requires GCC or Clang (got ${CMAKE_CXX_COMPILER_ID})")
+endif()
+
+string(REPLACE ";" "," _skypref_sanitize_csv "${SKYPREF_SANITIZE}")
+message(STATUS "skypref: sanitizers enabled: ${_skypref_sanitize_csv}")
+
+# Applied globally on purpose: a sanitized libskypref linked into an
+# unsanitized test binary misses interceptors and produces false
+# negatives, so every translation unit in the tree gets the same flags.
+add_compile_options(
+  -fsanitize=${_skypref_sanitize_csv}
+  -fno-omit-frame-pointer
+  -fno-sanitize-recover=all
+  -g)
+add_link_options(-fsanitize=${_skypref_sanitize_csv})
+add_compile_definitions(SKYPREF_ENABLE_DCHECKS=1)

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Verifies that every C++ file matches the repo .clang-format style.
+#
+# Usage:
+#   scripts/check_format.sh          # check (CI mode)
+#   scripts/check_format.sh --fix    # rewrite files in place
+#
+# If clang-format is not installed the script warns and exits 0; set
+# SKYPREF_REQUIRE_CLANG_FORMAT=1 (CI does) to make that a hard error.
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+
+CLANG_FORMAT="${CLANG_FORMAT:-clang-format}"
+if ! command -v "$CLANG_FORMAT" >/dev/null 2>&1; then
+  if [[ "${SKYPREF_REQUIRE_CLANG_FORMAT:-0}" == "1" ]]; then
+    echo "error: $CLANG_FORMAT not found and SKYPREF_REQUIRE_CLANG_FORMAT=1" >&2
+    exit 1
+  fi
+  echo "warning: $CLANG_FORMAT not found; skipping format check" >&2
+  exit 0
+fi
+
+mode="--dry-run"
+if [[ "${1:-}" == "--fix" ]]; then
+  mode="-i"
+fi
+
+mapfile -t sources < <(find src tests bench tools examples \
+  \( -name '*.cc' -o -name '*.cpp' -o -name '*.h' \) | sort)
+
+echo "clang-format ($mode) over ${#sources[@]} files ..."
+"$CLANG_FORMAT" $mode --Werror --style=file "${sources[@]}"

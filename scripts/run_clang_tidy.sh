@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Runs clang-tidy over every library translation unit in src/ using the
+# compile database of an existing build tree.
+#
+# Usage:
+#   scripts/run_clang_tidy.sh [build-dir]
+#
+# The build dir defaults to the first of build/release, build/asan-ubsan,
+# build/debug, build that contains a compile_commands.json; configure any
+# preset first (`cmake --preset release`). Exits non-zero on findings.
+#
+# If clang-tidy is not installed the script warns and exits 0 so that
+# developer machines without LLVM don't fail the whole check pipeline;
+# set SKYPREF_REQUIRE_CLANG_TIDY=1 (CI does) to make a missing binary a
+# hard error.
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+
+CLANG_TIDY="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$CLANG_TIDY" >/dev/null 2>&1; then
+  if [[ "${SKYPREF_REQUIRE_CLANG_TIDY:-0}" == "1" ]]; then
+    echo "error: $CLANG_TIDY not found and SKYPREF_REQUIRE_CLANG_TIDY=1" >&2
+    exit 1
+  fi
+  echo "warning: $CLANG_TIDY not found; skipping static analysis" >&2
+  exit 0
+fi
+
+build_dir="${1:-}"
+if [[ -z "$build_dir" ]]; then
+  for candidate in build/release build/asan-ubsan build/debug build; do
+    if [[ -f "$candidate/compile_commands.json" ]]; then
+      build_dir="$candidate"
+      break
+    fi
+  done
+fi
+if [[ -z "$build_dir" || ! -f "$build_dir/compile_commands.json" ]]; then
+  echo "error: no compile_commands.json found; run e.g." >&2
+  echo "  cmake --preset release" >&2
+  exit 1
+fi
+
+echo "clang-tidy ($build_dir) over src/ ..."
+mapfile -t sources < <(find src -name '*.cc' | sort)
+
+status=0
+for source in "${sources[@]}"; do
+  if ! "$CLANG_TIDY" -p "$build_dir" --quiet "$source"; then
+    status=1
+  fi
+done
+
+if [[ $status -ne 0 ]]; then
+  echo "clang-tidy: findings above must be fixed (config: .clang-tidy)" >&2
+fi
+exit $status

@@ -57,7 +57,9 @@ SharedWorldSampler::SharedWorldSampler(const Dataset& data,
         ValueId hi = std::max(vc, vi);
         PrefPair pair = model.GetPair(j, lo, hi);
         double toward_candidate = vc == lo ? pair.less : pair.greater;
-        if (toward_candidate == 0.0) {
+        // Exact-zero test: Pr = 0 means the orientation can never be
+        // drawn, so the candidate is pruned from the sampling plan.
+        if (toward_candidate == 0.0) {  // skypref-lint: allow(float-eq)
           possible = false;
           break;
         }

@@ -2,6 +2,8 @@
 
 #include <numeric>
 
+#include "src/util/check.h"
+
 namespace skypref {
 
 Result<double> ExactSkylineProbability(const Dataset& data, ObjectId target,
@@ -13,8 +15,15 @@ Result<double> ExactSkylineProbability(const Dataset& data, ObjectId target,
   for (ObjectId id = 0; id < data.size(); ++id) {
     if (id != target) candidates.push_back(id);
   }
-  return ExactSkylineProbability(data, target, candidates, DoubleOracle(model),
-                                 options, stats);
+  SKYPREF_ASSIGN_OR_RETURN(
+      double result,
+      ExactSkylineProbability(data, target, candidates, DoubleOracle(model),
+                              options, stats));
+  // The inclusion-exclusion sum of Eq. 4 is a probability; compensated
+  // summation keeps rounding drift below kProbEpsilon, so anything worse
+  // is a solver bug, not noise.
+  SKYPREF_DCHECK_PROB(result);
+  return ClampProbability(result);
 }
 
 }  // namespace skypref

@@ -22,7 +22,9 @@ Result<double> IndependentSkylineProbability(
           "candidate list must not contain the target object");
     }
     product *= 1.0 - DominanceProbability(data, id, target, model);
-    if (product == 0.0) break;
+    // Exact-zero short-circuit: once the product underflows to 0 it can
+    // never recover (all factors are in [0,1]).
+    if (product == 0.0) break;  // skypref-lint: allow(float-eq)
   }
   return product;
 }

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "src/core/dominance.h"
+#include "src/util/check.h"
 #include "src/util/hash.h"
 #include "src/util/random.h"
 
@@ -41,7 +42,14 @@ class WorldSampler {
         if (v == o) continue;
         auto [it, inserted] = pair_index.try_emplace(
             {j, v}, static_cast<std::uint32_t>(pair_prob_.size()));
-        if (inserted) pair_prob_.push_back(model.LessEq(j, v, o));
+        if (inserted) {
+          double less_eq = model.LessEq(j, v, o);
+          // Every Bernoulli parameter the sampler will ever draw from is
+          // a model probability; catch a broken model before it skews
+          // thousands of worlds.
+          SKYPREF_DCHECK_PROB(less_eq);
+          pair_prob_.push_back(less_eq);
+        }
         c.pairs.push_back(it->second);
       }
       candidate_pairs_.push_back(std::move(c));
@@ -151,6 +159,8 @@ Result<MonteCarloResult> MonteCarloSkylineProbability(
   }
   result.estimate = static_cast<double>(result.skyline_worlds) /
                     static_cast<double>(samples);
+  SKYPREF_DCHECK(result.skyline_worlds <= result.samples);
+  SKYPREF_DCHECK_PROB(result.estimate);
   return result;
 }
 

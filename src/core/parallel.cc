@@ -6,6 +6,7 @@
 #include "src/core/absorption.h"
 #include "src/core/exact.h"
 #include "src/core/partition.h"
+#include "src/util/check.h"
 #include "src/util/hash.h"
 #include "src/util/random.h"
 
@@ -17,6 +18,9 @@ Result<double> ParallelExactSkylineProbability(const Dataset& data,
                                                ThreadPool& pool,
                                                const ExactOptions& options) {
   SKYPREF_RETURN_IF_ERROR(data.Validate());
+#if defined(SKYPREF_ENABLE_DCHECKS) && SKYPREF_ENABLE_DCHECKS
+  SKYPREF_RETURN_IF_ERROR(model.Validate(data));
+#endif
   if (target >= data.size()) {
     return Status::OutOfRange("target object out of range");
   }
@@ -44,9 +48,11 @@ Result<double> ParallelExactSkylineProbability(const Dataset& data,
   double product = 1.0;
   for (std::size_t g = 0; g < groups.size(); ++g) {
     SKYPREF_RETURN_IF_ERROR(statuses[g]);
+    SKYPREF_DCHECK_PROB(survival[g]);
     product *= survival[g];
   }
-  return product;
+  SKYPREF_DCHECK_PROB(product);
+  return ClampProbability(product);
 }
 
 namespace {
@@ -68,6 +74,9 @@ Result<MonteCarloResult> ParallelMonteCarloSkylineProbability(
   if (parallel.sample_chunks == 0) {
     return Status::InvalidArgument("need at least one sample chunk");
   }
+#if defined(SKYPREF_ENABLE_DCHECKS) && SKYPREF_ENABLE_DCHECKS
+  SKYPREF_RETURN_IF_ERROR(model.Validate(data));
+#endif
   std::uint64_t samples = options.samples != 0
                               ? options.samples
                               : HoeffdingSampleSize(options.epsilon,
@@ -101,12 +110,15 @@ Result<MonteCarloResult> ParallelMonteCarloSkylineProbability(
   MonteCarloResult combined;
   for (std::uint32_t c = 0; c < chunks; ++c) {
     SKYPREF_RETURN_IF_ERROR(statuses[c]);
+    SKYPREF_DCHECK(partial[c].skyline_worlds <= partial[c].samples);
     combined.samples += partial[c].samples;
     combined.skyline_worlds += partial[c].skyline_worlds;
     combined.pair_draws += partial[c].pair_draws;
   }
+  SKYPREF_DCHECK(combined.samples == samples);
   combined.estimate = static_cast<double>(combined.skyline_worlds) /
                       static_cast<double>(combined.samples);
+  SKYPREF_DCHECK_PROB(combined.estimate);
   return combined;
 }
 
@@ -159,6 +171,7 @@ Result<AllWorldsResult> ParallelEstimateAllSkylineProbabilities(
   }
   for (ObjectId i = 0; i < n; ++i) {
     result.estimates[i] /= static_cast<double>(samples);
+    SKYPREF_DCHECK_PROB(result.estimates[i]);
   }
   return result;
 }

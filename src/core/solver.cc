@@ -5,6 +5,7 @@
 #include "src/core/absorption.h"
 #include "src/core/dominance.h"
 #include "src/core/partition.h"
+#include "src/util/check.h"
 #include "src/util/random.h"
 
 namespace skypref {
@@ -12,6 +13,10 @@ namespace skypref {
 Result<SkylineSolver> SkylineSolver::Create(const Dataset& data,
                                             const PreferenceModel& model) {
   SKYPREF_RETURN_IF_ERROR(data.Validate());
+  // One capped pass over the model's invariants (Pr(a<b)+Pr(b<a) <= 1,
+  // orientation symmetry, self ties) before any probability is computed
+  // from it; Create runs once per dataset so the cost is negligible.
+  SKYPREF_RETURN_IF_ERROR(model.Validate(data));
   return SkylineSolver(data, model);
 }
 
@@ -50,6 +55,7 @@ Result<double> SkylineSolver::Exact(ObjectId target,
           ExactSkylineProbability(*data_, target, group, oracle, options.exact,
                                   &exact_stats));
       local.subsets_visited += exact_stats.subsets_visited;
+      SKYPREF_DCHECK_PROB(group_prob);
       result *= group_prob;
     }
   } else {
@@ -63,7 +69,8 @@ Result<double> SkylineSolver::Exact(ObjectId target,
     local.subsets_visited = exact_stats.subsets_visited;
   }
   if (stats != nullptr) *stats = local;
-  return result;
+  SKYPREF_DCHECK_PROB(result);
+  return ClampProbability(result);
 }
 
 Result<double> SkylineSolver::MonteCarlo(ObjectId target,
@@ -87,7 +94,8 @@ Result<double> SkylineSolver::MonteCarlo(ObjectId target,
     local.samples_drawn = mc.samples;
     local.pair_draws = mc.pair_draws;
     if (stats != nullptr) *stats = local;
-    return mc.estimate;
+    SKYPREF_DCHECK_PROB(mc.estimate);
+    return ClampProbability(mc.estimate);
   }
 
   candidates = AbsorbCandidates(*data_, target, candidates);
@@ -125,11 +133,13 @@ Result<double> SkylineSolver::MonteCarlo(ObjectId target,
                                        per_group));
       local.samples_drawn += mc.samples;
       local.pair_draws += mc.pair_draws;
+      SKYPREF_DCHECK_PROB(mc.estimate);
       result *= mc.estimate;
     }
   }
   if (stats != nullptr) *stats = local;
-  return result;
+  SKYPREF_DCHECK_PROB(result);
+  return ClampProbability(result);
 }
 
 Result<double> SkylineSolver::Independent(ObjectId target) const {
@@ -141,7 +151,8 @@ Result<double> SkylineSolver::Independent(ObjectId target) const {
     if (id == target) continue;
     product *= 1.0 - DominanceProbability(*data_, id, target, *model_);
   }
-  return product;
+  SKYPREF_DCHECK_PROB(product);
+  return ClampProbability(product);
 }
 
 Result<double> ExpectedSkylineCardinality(const Dataset& data,

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <string>
+#include <vector>
 
 namespace skypref {
 
@@ -33,6 +35,59 @@ Status PrefPair::Validate() const {
     return Status::InvalidArgument(
         "Pr(a<b) + Pr(b<a) must be at most 1, got " +
         std::to_string(less + greater));
+  }
+  return Status::OK();
+}
+
+Status PreferenceModel::Validate(const Dataset& data,
+                                 std::size_t max_pairs) const {
+  // Probing every pair of a wide domain is quadratic; 64 distinct values
+  // per dimension (2016 pairs) is plenty to catch a systematically broken
+  // model while keeping the pass O(n) overall.
+  constexpr std::size_t kMaxValuesPerDimension = 64;
+  std::size_t probed = 0;
+  for (DimensionId j = 0; j < data.dimensions(); ++j) {
+    std::vector<ValueId> values;
+    for (ObjectId i = 0;
+         i < data.size() && values.size() < kMaxValuesPerDimension; ++i) {
+      ValueId v = data.value(i, j);
+      if (std::find(values.begin(), values.end(), v) == values.end()) {
+        values.push_back(v);
+      }
+    }
+    for (ValueId v : values) {
+      if (Less(j, v, v) != 0.0 || LessEq(j, v, v) != 1.0) {
+        return Status::Internal(
+            "preference model violates the self-tie identity Pr(v<=v)=1 "
+            "for value " + std::to_string(v) + " on dimension " +
+            std::to_string(j));
+      }
+    }
+    for (std::size_t p = 0; p < values.size(); ++p) {
+      for (std::size_t q = p + 1; q < values.size(); ++q) {
+        if (probed >= max_pairs) return Status::OK();
+        ++probed;
+        ValueId a = values[p];
+        ValueId b = values[q];
+        PrefPair pair = GetPair(j, a, b);
+        Status valid = pair.Validate();
+        if (!valid.ok()) {
+          return Status::Internal(
+              "preference model invalid for values (" + std::to_string(a) +
+              ", " + std::to_string(b) + ") on dimension " +
+              std::to_string(j) + ": " + valid.message());
+        }
+        PrefPair mirrored = GetPair(j, b, a);
+        // Bitwise comparison on purpose: the two orientations must be the
+        // SAME pair seen from both sides, not merely close.
+        if (mirrored.less != pair.greater || mirrored.greater != pair.less) {
+          return Status::Internal(
+              "preference model is orientation-asymmetric for values (" +
+              std::to_string(a) + ", " + std::to_string(b) +
+              ") on dimension " + std::to_string(j));
+        }
+      }
+    }
   }
   return Status::OK();
 }

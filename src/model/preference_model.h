@@ -25,10 +25,12 @@
 ///  * RationalPreferenceModel - exact rational probabilities, used by the
 ///                              bit-exact correctness oracles.
 
+#include <cstddef>
 #include <cstdint>
 #include <unordered_map>
 #include <utility>
 
+#include "src/model/dataset.h"
 #include "src/model/types.h"
 #include "src/util/hash.h"
 #include "src/util/rational.h"
@@ -73,6 +75,19 @@ class PreferenceModel {
     if (a == b) return 1.0;
     return GetPair(dim, a, b).less;
   }
+
+  /// Checks the paper's model invariants (Section 2) over the value pairs
+  /// that actually occur in \p data:
+  ///
+  ///   * every pair is finite, in [0,1], with Pr(a<b) + Pr(b<a) <= 1;
+  ///   * orientation symmetry: GetPair(dim, b, a) is exactly the swap of
+  ///     GetPair(dim, a, b);
+  ///   * the self-tie identities Pr(v < v) = 0 and Pr(v <= v) = 1.
+  ///
+  /// Implicit models (HashedPreferenceModel) have no table to inspect, so
+  /// validation probes GetPair; \p max_pairs caps the probes so the pass
+  /// stays cheap on wide domains. Returns the first violation found.
+  Status Validate(const Dataset& data, std::size_t max_pairs = 4096) const;
 };
 
 /// Explicit preference storage with validation.

@@ -1,0 +1,121 @@
+#ifndef SKYPREF_UTIL_CHECK_H_
+#define SKYPREF_UTIL_CHECK_H_
+
+/// \file
+/// Runtime invariant checks for the exception-free library.
+///
+/// The solvers compute exact inclusion-exclusion probabilities and
+/// multiply per-group survival factors across threads; a silent logic
+/// error there produces a plausible-but-wrong number rather than a
+/// crash. These macros make wrongness loud where it is cheap to do so:
+///
+///  * SKYPREF_CHECK(cond)        - always on, aborts with a message.
+///    Reserved for corruption that must never ship a wrong answer.
+///  * SKYPREF_DCHECK(cond)       - compiled out in Release; fatal in
+///    Debug and in sanitizer builds (SKYPREF_SANITIZE defines
+///    SKYPREF_ENABLE_DCHECKS, see cmake/Sanitizers.cmake).
+///  * SKYPREF_DCHECK_PROB(p)     - DCHECK that p is a probability up to
+///    the accumulation tolerance: finite and within [0-eps, 1+eps].
+///
+/// The library never throws, so the failure path prints to stderr and
+/// aborts — the same contract as Status::CheckOK. Checks must not have
+/// side effects: in Release builds the condition expression of
+/// SKYPREF_DCHECK is not evaluated at all.
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/util/status.h"
+
+namespace skypref {
+
+/// Tolerance accepted on emitted probabilities before clamping. The
+/// inclusion-exclusion expansion alternates signs over up to 2^n terms;
+/// compensated summation keeps the drift far below this bound, so any
+/// excursion past it indicates a real bug, not rounding.
+inline constexpr double kProbEpsilon = 1e-9;
+
+/// True iff \p p is a valid probability up to kProbEpsilon.
+inline bool IsProbability(double p) {
+  return std::isfinite(p) && p >= -kProbEpsilon && p <= 1.0 + kProbEpsilon;
+}
+
+/// Clamps a probability that passed IsProbability into exactly [0, 1].
+inline double ClampProbability(double p) {
+  if (p < 0.0) return 0.0;
+  if (p > 1.0) return 1.0;
+  return p;
+}
+
+/// Status-returning probability validation for entry points that must
+/// stay recoverable in Release builds (the macros below abort instead).
+/// \p what names the value in the error message.
+inline Status ValidateProbability(double p, const char* what) {
+  if (IsProbability(p)) return Status::OK();
+  return Status::Internal(std::string(what) + " = " + std::to_string(p) +
+                          " is not a probability (tolerance " +
+                          std::to_string(kProbEpsilon) + ")");
+}
+
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr, const char* extra) {
+  std::fprintf(stderr, "%s:%d: SKYPREF_CHECK failed: %s%s%s\n", file, line,
+               expr, extra[0] != '\0' ? " " : "", extra);
+  std::fflush(stderr);
+  std::abort();
+}
+
+[[noreturn]] inline void ProbCheckFailed(const char* file, int line,
+                                         const char* expr, double value) {
+  std::fprintf(stderr,
+               "%s:%d: SKYPREF_CHECK_PROB failed: %s = %.17g is outside "
+               "[-%g, 1+%g]\n",
+               file, line, expr, value, kProbEpsilon, kProbEpsilon);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace skypref
+
+/// Always-on fatal assertion.
+#define SKYPREF_CHECK(cond)                                              \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::skypref::internal::CheckFailed(__FILE__, __LINE__, #cond, "");   \
+    }                                                                    \
+  } while (false)
+
+/// Always-on probability-range assertion.
+#define SKYPREF_CHECK_PROB(p)                                            \
+  do {                                                                   \
+    const double _skypref_p = (p);                                       \
+    if (!::skypref::IsProbability(_skypref_p)) {                         \
+      ::skypref::internal::ProbCheckFailed(__FILE__, __LINE__, #p,       \
+                                           _skypref_p);                  \
+    }                                                                    \
+  } while (false)
+
+// Debug checks are on outside NDEBUG builds and in any build that
+// defines SKYPREF_ENABLE_DCHECKS (the sanitizer presets do).
+#if !defined(SKYPREF_ENABLE_DCHECKS) && !defined(NDEBUG)
+#define SKYPREF_ENABLE_DCHECKS 1
+#endif
+
+#if defined(SKYPREF_ENABLE_DCHECKS) && SKYPREF_ENABLE_DCHECKS
+#define SKYPREF_DCHECK(cond) SKYPREF_CHECK(cond)
+#define SKYPREF_DCHECK_PROB(p) SKYPREF_CHECK_PROB(p)
+#else
+#define SKYPREF_DCHECK(cond) \
+  do {                       \
+  } while (false)
+#define SKYPREF_DCHECK_PROB(p) \
+  do {                         \
+  } while (false)
+#endif
+
+#endif  // SKYPREF_UTIL_CHECK_H_

@@ -11,6 +11,8 @@
 /// compensation and uses a plain accumulator; see NumericTraits in
 /// src/core/numeric_traits.h.)
 
+#include <cmath>
+
 namespace skypref {
 
 class KahanSum {
@@ -21,6 +23,14 @@ class KahanSum {
   /// Adds a term with Neumaier's correction (robust when |term| > |sum|).
   void Add(double term) {
     double t = sum_ + term;
+    if (std::isinf(t)) {
+      // Overflow: the correction term would be inf - inf = NaN, which
+      // would poison every later Value(). Saturate like plain IEEE
+      // addition instead and stop compensating.
+      sum_ = t;
+      compensation_ = 0.0;
+      return;
+    }
     if ((sum_ >= 0 ? sum_ : -sum_) >= (term >= 0 ? term : -term)) {
       compensation_ += (sum_ - t) + term;
     } else {

@@ -207,5 +207,62 @@ TEST(RationalModelTest, SetRejectsInvalid) {
                    .ok());
 }
 
+// --- PreferenceModel::Validate -------------------------------------------
+
+Dataset TwoByTwoDataset() {
+  Dataset data(2);
+  data.Append({0, 0}).CheckOK();
+  data.Append({1, 1}).CheckOK();
+  data.Append({0, 1}).CheckOK();
+  return data;
+}
+
+TEST(ValidateTest, AcceptsEveryBuiltInModelStyle) {
+  Dataset data = TwoByTwoDataset();
+  EXPECT_TRUE(TablePreferenceModel().Validate(data).ok());
+  EXPECT_TRUE(RationalPreferenceModel().Validate(data).ok());
+  for (auto style : {HashedPreferenceModel::Style::kTotalUniform,
+                     HashedPreferenceModel::Style::kSimplexUniform,
+                     HashedPreferenceModel::Style::kUnanimousHalf,
+                     HashedPreferenceModel::Style::kCertainOrder}) {
+    EXPECT_TRUE(HashedPreferenceModel(123, style).Validate(data).ok());
+  }
+}
+
+TEST(ValidateTest, RejectsInvalidDefaultPair) {
+  // TablePreferenceModel's constructor accepts the default pair
+  // unchecked; Validate is the net that catches it.
+  TablePreferenceModel model(PrefPair{0.9, 0.9});
+  Status status = model.Validate(TwoByTwoDataset());
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_NE(status.message().find("at most 1"), std::string::npos);
+}
+
+namespace {
+/// A deliberately broken model: the two orientations of the same value
+/// pair disagree (the kind of bug a wrong lo/hi swap would introduce).
+class AsymmetricModel : public PreferenceModel {
+ public:
+  PrefPair GetPair(DimensionId, ValueId a, ValueId b) const override {
+    return a < b ? PrefPair{0.7, 0.2} : PrefPair{0.1, 0.8};
+  }
+};
+}  // namespace
+
+TEST(ValidateTest, RejectsOrientationAsymmetry) {
+  AsymmetricModel model;
+  Status status = model.Validate(TwoByTwoDataset());
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_NE(status.message().find("orientation-asymmetric"),
+            std::string::npos);
+}
+
+TEST(ValidateTest, ProbeBudgetIsHonored) {
+  // max_pairs = 0 probes nothing, so even the broken model passes: the
+  // cap is a real cap.
+  AsymmetricModel model;
+  EXPECT_TRUE(model.Validate(TwoByTwoDataset(), 0).ok());
+}
+
 }  // namespace
 }  // namespace skypref

@@ -14,6 +14,7 @@
 
 #include "src/model/dataset.h"
 #include "src/model/preference_model.h"
+#include "src/util/check.h"
 #include "src/util/random.h"
 
 namespace skypref::testing {
@@ -67,6 +68,14 @@ inline RationalPreferenceModel UnanimousHalfRational(const Dataset& data) {
 /// property tests (dependence through shared values is ubiquitous).
 inline Dataset RandomSmallDataset(std::uint64_t seed, std::size_t objects,
                                   std::size_t dimensions, ValueId values) {
+  // Rows are distinct, so the value universe must hold at least
+  // `objects` tuples; a too-small universe would spin forever in the
+  // rejection loop below.
+  std::uint64_t capacity = 1;
+  for (std::size_t j = 0; j < dimensions && capacity < objects; ++j) {
+    capacity *= values;
+  }
+  SKYPREF_CHECK(capacity >= objects);
   Rng rng(seed);
   Dataset data(dimensions);
   std::set<std::vector<ValueId>> seen;

@@ -1,0 +1,196 @@
+"""Tests for tools/skypref_lint.py.
+
+Run directly (python3 tests/tools/skypref_lint_test.py) or through ctest
+(the `skypref_lint_selftest` test). Each case writes a miniature src/
+tree into a temp dir and asserts on the findings the linter reports.
+"""
+
+import io
+import sys
+import tempfile
+import unittest
+from contextlib import redirect_stderr, redirect_stdout
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "tools"))
+
+import skypref_lint  # noqa: E402
+
+
+class LintHarness(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.root = Path(self._tmp.name)
+        (self.root / "tools").mkdir()
+
+    def tearDown(self):
+        self._tmp.cleanup()
+
+    def write(self, relpath, text):
+        path = self.root / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+        return path
+
+    def run_lint(self, *paths):
+        out, err = io.StringIO(), io.StringIO()
+        with redirect_stdout(out), redirect_stderr(err):
+            code = skypref_lint.main(
+                list(paths or ("src",)) + ["--repo-root", str(self.root)])
+        return code, out.getvalue(), err.getvalue()
+
+    def findings(self, relpath):
+        path = self.root / relpath
+        return skypref_lint.check_file(path, self.root)
+
+    def rules(self, relpath):
+        return [f.rule for f in self.findings(relpath)]
+
+
+class NoExceptionsRule(LintHarness):
+    def test_throw_flagged(self):
+        self.write("src/core/x.cc", 'void F() { throw 1; }\n')
+        self.assertIn("no-exceptions", self.rules("src/core/x.cc"))
+
+    def test_try_catch_flagged(self):
+        self.write("src/core/x.cc",
+                   "void F() { try { G(); } catch (...) {} }\n")
+        rules = self.rules("src/core/x.cc")
+        self.assertEqual(rules.count("no-exceptions"), 2)
+
+    def test_try_emplace_is_not_try(self):
+        self.write("src/core/x.cc", "void F() { m.try_emplace(k, v); }\n")
+        self.assertEqual(self.rules("src/core/x.cc"), [])
+
+    def test_throw_in_comment_ignored(self):
+        self.write("src/core/x.cc",
+                   "// never throw here\n/* try hard */\nvoid F() {}\n")
+        self.assertEqual(self.rules("src/core/x.cc"), [])
+
+    def test_throw_in_string_ignored(self):
+        self.write("src/core/x.cc",
+                   'const char* kMsg = "do not throw";\n')
+        self.assertEqual(self.rules("src/core/x.cc"), [])
+
+
+class NoRawRandomRule(LintHarness):
+    def test_rand_flagged_outside_random_home(self):
+        self.write("src/core/x.cc", "int F() { return rand() % 6; }\n")
+        self.assertIn("no-raw-random", self.rules("src/core/x.cc"))
+
+    def test_random_device_flagged(self):
+        self.write("src/model/x.cc", "std::random_device rd;\n")
+        self.assertIn("no-raw-random", self.rules("src/model/x.cc"))
+
+    def test_allowed_inside_random_home(self):
+        self.write("src/util/random.cc", "std::random_device rd;\n")
+        self.assertEqual(self.rules("src/util/random.cc"), [])
+
+    def test_operand_suffix_not_flagged(self):
+        self.write("src/core/x.cc", "int F() { return operand(3); }\n")
+        self.assertEqual(self.rules("src/core/x.cc"), [])
+
+
+class NoStdoutRule(LintHarness):
+    def test_cout_flagged(self):
+        self.write("src/io/x.cc", 'void F() { std::cout << "hi"; }\n')
+        self.assertIn("no-stdout", self.rules("src/io/x.cc"))
+
+    def test_bare_printf_flagged(self):
+        self.write("src/io/x.cc", 'void F() { printf("hi"); }\n')
+        self.assertIn("no-stdout", self.rules("src/io/x.cc"))
+
+    def test_std_printf_flagged(self):
+        self.write("src/io/x.cc", 'void F() { std::printf("hi"); }\n')
+        self.assertIn("no-stdout", self.rules("src/io/x.cc"))
+
+    def test_fprintf_stderr_allowed(self):
+        self.write("src/util/x.cc",
+                   'void F() { std::fprintf(stderr, "fatal\\n"); }\n')
+        self.assertEqual(self.rules("src/util/x.cc"), [])
+
+    def test_snprintf_allowed(self):
+        self.write("src/util/x.cc",
+                   "void F(char* b) { snprintf(b, 4, \"x\"); }\n")
+        self.assertEqual(self.rules("src/util/x.cc"), [])
+
+
+class FloatEqRule(LintHarness):
+    def test_equality_with_literal_flagged_in_core(self):
+        self.write("src/core/x.cc", "bool F(double p) { return p == 1.0; }\n")
+        self.assertIn("float-eq", self.rules("src/core/x.cc"))
+
+    def test_literal_on_left_flagged(self):
+        self.write("src/core/x.cc", "bool F(double p) { return 0.5 != p; }\n")
+        self.assertIn("float-eq", self.rules("src/core/x.cc"))
+
+    def test_integer_equality_not_flagged(self):
+        self.write("src/core/x.cc", "bool F(int i) { return i == 10; }\n")
+        self.assertEqual(self.rules("src/core/x.cc"), [])
+
+    def test_outside_core_not_flagged(self):
+        self.write("src/util/x.cc", "bool F(double p) { return p == 1.0; }\n")
+        self.assertEqual(self.rules("src/util/x.cc"), [])
+
+    def test_suppression_comment(self):
+        self.write(
+            "src/core/x.cc",
+            "bool F(double p) {\n"
+            "  return p == 0.0;  // skypref-lint: allow(float-eq)\n"
+            "}\n")
+        self.assertEqual(self.rules("src/core/x.cc"), [])
+
+    def test_suppression_is_rule_specific(self):
+        self.write(
+            "src/core/x.cc",
+            "bool F(double p) {\n"
+            "  return p == 0.0;  // skypref-lint: allow(no-stdout)\n"
+            "}\n")
+        self.assertIn("float-eq", self.rules("src/core/x.cc"))
+
+
+class IncludeGuardRule(LintHarness):
+    GOOD = ("#ifndef SKYPREF_CORE_X_H_\n"
+            "#define SKYPREF_CORE_X_H_\n"
+            "#endif  // SKYPREF_CORE_X_H_\n")
+
+    def test_correct_guard_passes(self):
+        self.write("src/core/x.h", self.GOOD)
+        self.assertEqual(self.rules("src/core/x.h"), [])
+
+    def test_wrong_guard_flagged(self):
+        self.write("src/core/x.h",
+                   "#ifndef X_H\n#define X_H\n#endif\n")
+        self.assertIn("include-guard", self.rules("src/core/x.h"))
+
+    def test_missing_guard_flagged(self):
+        self.write("src/core/x.h", "int x;\n")
+        self.assertIn("include-guard", self.rules("src/core/x.h"))
+
+    def test_source_files_exempt(self):
+        self.write("src/core/x.cc", "int x;\n")
+        self.assertEqual(self.rules("src/core/x.cc"), [])
+
+
+class CliBehavior(LintHarness):
+    def test_clean_tree_exits_zero(self):
+        self.write("src/core/x.cc", "int F() { return 1; }\n")
+        code, out, _ = self.run_lint()
+        self.assertEqual(code, 0)
+        self.assertIn("clean", out)
+
+    def test_findings_exit_one_with_locations(self):
+        self.write("src/core/x.cc", "void F() { throw 1; }\n")
+        code, out, err = self.run_lint()
+        self.assertEqual(code, 1)
+        self.assertIn("src/core/x.cc:1: [no-exceptions]", out)
+        self.assertIn("1 finding(s)", err)
+
+    def test_missing_path_exits_two(self):
+        code, _, err = self.run_lint("src/nope")
+        self.assertEqual(code, 2)
+        self.assertIn("no such path", err)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,88 @@
+#include "src/util/check.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace skypref {
+namespace {
+
+TEST(IsProbabilityTest, AcceptsTheUnitIntervalAndTolerance) {
+  EXPECT_TRUE(IsProbability(0.0));
+  EXPECT_TRUE(IsProbability(1.0));
+  EXPECT_TRUE(IsProbability(0.5));
+  EXPECT_TRUE(IsProbability(-kProbEpsilon));
+  EXPECT_TRUE(IsProbability(1.0 + kProbEpsilon));
+  EXPECT_TRUE(IsProbability(-0.0));
+}
+
+TEST(IsProbabilityTest, RejectsOutOfRangeAndNonFinite) {
+  EXPECT_FALSE(IsProbability(-2.0 * kProbEpsilon));
+  EXPECT_FALSE(IsProbability(1.0 + 2.0 * kProbEpsilon));
+  EXPECT_FALSE(IsProbability(-1.0));
+  EXPECT_FALSE(IsProbability(2.0));
+  EXPECT_FALSE(IsProbability(std::numeric_limits<double>::infinity()));
+  EXPECT_FALSE(IsProbability(-std::numeric_limits<double>::infinity()));
+  EXPECT_FALSE(IsProbability(std::nan("")));
+}
+
+TEST(ClampProbabilityTest, ClampsIntoTheUnitInterval) {
+  EXPECT_EQ(ClampProbability(-1e-12), 0.0);
+  EXPECT_EQ(ClampProbability(1.0 + 1e-12), 1.0);
+  EXPECT_EQ(ClampProbability(0.25), 0.25);
+  EXPECT_EQ(ClampProbability(0.0), 0.0);
+  EXPECT_EQ(ClampProbability(1.0), 1.0);
+}
+
+TEST(ValidateProbabilityTest, OkInsideToleranceInternalOutside) {
+  EXPECT_TRUE(ValidateProbability(0.7, "p").ok());
+  EXPECT_TRUE(ValidateProbability(-1e-12, "p").ok());
+  Status bad = ValidateProbability(1.5, "sky(O)");
+  EXPECT_EQ(bad.code(), StatusCode::kInternal);
+  EXPECT_NE(bad.message().find("sky(O)"), std::string::npos);
+  EXPECT_FALSE(ValidateProbability(std::nan(""), "p").ok());
+}
+
+TEST(CheckMacrosTest, PassingChecksAreSilent) {
+  SKYPREF_CHECK(1 + 1 == 2);
+  SKYPREF_CHECK_PROB(0.5);
+  SKYPREF_DCHECK(true);
+  SKYPREF_DCHECK_PROB(1.0);
+}
+
+TEST(CheckMacrosDeathTest, CheckAbortsWithLocation) {
+  EXPECT_DEATH(SKYPREF_CHECK(2 + 2 == 5), "SKYPREF_CHECK failed: 2 \\+ 2 == 5");
+}
+
+TEST(CheckMacrosDeathTest, CheckProbAbortsWithValue) {
+  EXPECT_DEATH(SKYPREF_CHECK_PROB(1.25), "SKYPREF_CHECK_PROB failed");
+}
+
+#if defined(SKYPREF_ENABLE_DCHECKS) && SKYPREF_ENABLE_DCHECKS
+
+TEST(CheckMacrosDeathTest, DcheckIsFatalWhenEnabled) {
+  EXPECT_DEATH(SKYPREF_DCHECK(false), "SKYPREF_CHECK failed");
+  EXPECT_DEATH(SKYPREF_DCHECK_PROB(-0.5), "SKYPREF_CHECK_PROB failed");
+}
+
+#else
+
+TEST(CheckMacrosTest, DcheckCompiledOutInRelease) {
+  // The condition must not even be evaluated.
+  int evaluations = 0;
+  SKYPREF_DCHECK([&] {
+    ++evaluations;
+    return false;
+  }());
+  SKYPREF_DCHECK_PROB([&] {
+    ++evaluations;
+    return -7.0;
+  }());
+  EXPECT_EQ(evaluations, 0);
+}
+
+#endif  // SKYPREF_ENABLE_DCHECKS
+
+}  // namespace
+}  // namespace skypref

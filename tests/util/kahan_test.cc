@@ -1,6 +1,9 @@
 #include "src/util/kahan.h"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -69,6 +72,90 @@ TEST(KahanSumTest, OperatorPlusEquals) {
   sum += 1.5;
   sum += 2.5;
   EXPECT_DOUBLE_EQ(sum.Value(), 4.0);
+}
+
+TEST(KahanSumTest, SignedZeroTermsLeaveSumAtPositiveZero) {
+  KahanSum sum;
+  sum.Add(-0.0);
+  sum.Add(0.0);
+  sum.Add(-0.0);
+  EXPECT_EQ(sum.Value(), 0.0);
+  // IEEE: (+0) + (-0) = +0, and the compensation stays +0 too.
+  EXPECT_FALSE(std::signbit(sum.Value()));
+}
+
+TEST(KahanSumTest, NegativeZeroInitialValueIsStillZero) {
+  KahanSum sum(-0.0);
+  EXPECT_EQ(sum.Value(), 0.0);
+}
+
+TEST(KahanSumTest, OverflowSaturatesToInfinityNotNaN) {
+  // Naive Neumaier would compute compensation = (1e308 - inf) + 1e308
+  // = -inf and return inf + -inf = NaN; the accumulator must saturate
+  // like plain IEEE addition instead.
+  KahanSum sum;
+  sum.Add(1e308);
+  sum.Add(1e308);
+  EXPECT_TRUE(std::isinf(sum.Value()));
+  EXPECT_GT(sum.Value(), 0.0);
+  // And it stays pinned once saturated.
+  sum.Add(-1.0);
+  EXPECT_TRUE(std::isinf(sum.Value()));
+}
+
+TEST(KahanSumTest, NegativeOverflowSaturatesToo) {
+  KahanSum sum;
+  sum.Add(-1e308);
+  sum.Add(-1e308);
+  EXPECT_TRUE(std::isinf(sum.Value()));
+  EXPECT_LT(sum.Value(), 0.0);
+}
+
+TEST(KahanSumTest, InfinityMinusInfinityIsNaNAsInIEEE) {
+  // Saturation does not paper over a genuinely undefined sum.
+  KahanSum sum;
+  sum.Add(std::numeric_limits<double>::infinity());
+  sum.Add(-std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(std::isnan(sum.Value()));
+}
+
+TEST(KahanSumTest, CompensationIsOrderIndependentOnAdversarialInput) {
+  // {1e16, 1.0, -1e16} sums to exactly 1.0, but naive left-to-right
+  // addition loses the 1.0 whenever it is absorbed into 1e16 before the
+  // cancellation (e.g. ascending order gives 0.0). Neumaier
+  // compensation keeps the swamped term in the correction, so every
+  // permutation recovers exactly 1.0.
+  std::vector<double> terms = {-1e16, 1.0, 1e16};
+  std::sort(terms.begin(), terms.end());
+  double naive_ascending = (terms[0] + terms[1]) + terms[2];
+  EXPECT_EQ(naive_ascending, 0.0);  // the failure mode being compensated
+  do {
+    KahanSum sum;
+    for (double t : terms) sum.Add(t);
+    EXPECT_EQ(sum.Value(), 1.0)
+        << "order: " << terms[0] << ", " << terms[1] << ", " << terms[2];
+  } while (std::next_permutation(terms.begin(), terms.end()));
+}
+
+TEST(KahanSumTest, DenormalAccumulationIsExact) {
+  const double denorm = std::numeric_limits<double>::denorm_min();
+  KahanSum sum;
+  for (int i = 0; i < 4096; ++i) sum.Add(denorm);
+  EXPECT_EQ(sum.Value(), 4096 * denorm);
+}
+
+TEST(KahanSumTest, AlternatingCancellationNearOne) {
+  // The inclusion-exclusion shape: 1 plus alternating-sign terms whose
+  // true total telescopes back to a small probability. 0.1 is not
+  // representable, so naive accumulation drifts; the compensated error
+  // stays within a few ulp.
+  KahanSum sum;
+  sum.Add(1.0);
+  for (int k = 0; k < 10000; ++k) {
+    sum.Add(k % 2 == 0 ? -0.1 : 0.1);
+  }
+  sum.Add(-0.9);
+  EXPECT_NEAR(sum.Value(), 0.1, 1e-15);
 }
 
 }  // namespace

@@ -104,6 +104,79 @@ TEST(RationalTest, LargeIntermediateValuesStayExact) {
   EXPECT_NEAR(h.ToDouble(), 3.9949871309203906, 1e-12);
 }
 
+TEST(RationalTest, NegativeZeroIsPlainZero) {
+  auto r = Rational::FromDouble(-0.0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().is_zero());
+  EXPECT_FALSE(r.value().is_negative());
+  EXPECT_EQ(r.value(), Rational(0));
+}
+
+TEST(RationalTest, FromDoubleIsExactForDenormals) {
+  // The smallest positive double is 2^-1074; FromDouble must represent
+  // it exactly, not flush it to zero.
+  const double denorm = std::numeric_limits<double>::denorm_min();
+  auto r = Rational::FromDouble(denorm);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.value().is_zero());
+  EXPECT_EQ(r.value().numerator().ToString(), "1");
+  EXPECT_EQ(r.value() * Rational(BigInt::PowerOfTwo(1074), BigInt(1)),
+            Rational(1));
+}
+
+TEST(RationalTest, FromDoubleIsExactAtDoubleMax) {
+  const double huge = std::numeric_limits<double>::max();
+  auto r = Rational::FromDouble(huge);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value().ToDouble(), huge);
+}
+
+TEST(RationalTest, ToDoubleSaturatesOutsideDoubleRange) {
+  // ToDouble is documented as "one rounding per operand": magnitudes
+  // beyond double range saturate to inf / 0 rather than aborting.
+  Rational huge(BigInt::PowerOfTwo(2000), BigInt(1));
+  EXPECT_TRUE(std::isinf(huge.ToDouble()));
+  EXPECT_GT(huge.ToDouble(), 0.0);
+  Rational tiny(BigInt(1), BigInt::PowerOfTwo(2000));
+  EXPECT_EQ(tiny.ToDouble(), 0.0);
+  Rational negative_huge = -huge;
+  EXPECT_TRUE(std::isinf(negative_huge.ToDouble()));
+  EXPECT_LT(negative_huge.ToDouble(), 0.0);
+}
+
+TEST(RationalTest, Int64MinSurvivesNegationPaths) {
+  // -INT64_MIN does not fit in int64; BigInt carries it, so both the
+  // numerator and the normalize-the-sign denominator path must work.
+  const std::int64_t min64 = std::numeric_limits<std::int64_t>::min();
+  Rational as_numerator(BigInt(min64), BigInt(1));
+  EXPECT_EQ(as_numerator.ToString(), "-9223372036854775808");
+  EXPECT_EQ((-as_numerator).ToString(), "9223372036854775808");
+  Rational as_denominator(BigInt(1), BigInt(min64));
+  EXPECT_EQ(as_denominator.ToString(), "-1/9223372036854775808");
+  EXPECT_FALSE(as_denominator.denominator().is_negative());
+  EXPECT_EQ(as_numerator * as_denominator, Rational(1));
+}
+
+TEST(RationalTest, SmallTimesHugeStaysExact) {
+  // Overflow-free cross-magnitude arithmetic: (1/2^600) * 2^600 = 1 and
+  // (2^600 + 1) - 2^600 = 1 exercise carries far past 64 bits.
+  Rational huge(BigInt::PowerOfTwo(600), BigInt(1));
+  Rational tiny(BigInt(1), BigInt::PowerOfTwo(600));
+  EXPECT_EQ(huge * tiny, Rational(1));
+  Rational huge_plus_one = huge + Rational(1);
+  EXPECT_EQ(huge_plus_one - huge, Rational(1));
+  EXPECT_LT(huge, huge_plus_one);
+}
+
+TEST(RationalTest, CompareAcrossExtremeMagnitudeGap) {
+  Rational tiny(BigInt(1), BigInt::PowerOfTwo(900));
+  Rational huge(BigInt::PowerOfTwo(900), BigInt(1));
+  EXPECT_LT(-huge, -tiny);
+  EXPECT_LT(-tiny, Rational(0));
+  EXPECT_LT(Rational(0), tiny);
+  EXPECT_LT(tiny, huge);
+}
+
 TEST(RationalTest, DistributiveLawExactRandomized) {
   Rng rng(13);
   for (int trial = 0; trial < 300; ++trial) {

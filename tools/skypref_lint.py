@@ -1,0 +1,237 @@
+#!/usr/bin/env python3
+"""Repo-specific lint for skypref invariants that generic tools can't see.
+
+Rules (each can be suppressed on a line with `skypref-lint: allow(<rule>)`
+in a trailing comment, which must state why):
+
+  no-exceptions   `throw` / `try` / `catch` anywhere under src/. The
+                  library is exception-free by contract: fallible paths
+                  return Status/Result, fatal paths abort.
+  no-raw-random   `rand()` / `srand()` / `std::random_device` outside
+                  src/util/random.*. Every stochastic component draws
+                  from the seeded, fully specified Xoshiro256++ stream so
+                  a single 64-bit seed reproduces an entire experiment.
+  no-stdout       `std::cout` / bare `printf(` in library code under
+                  src/. The library reports through Status values;
+                  stderr (fprintf(stderr, ...)) is allowed for fatal
+                  aborts.
+  float-eq        `==` / `!=` against a floating-point literal in
+                  src/core/. Probabilities accumulate rounding error;
+                  exact comparison is almost always a bug. Deliberate
+                  exact-zero short-circuits carry an allow() comment.
+  include-guard   Headers under src/ must guard with
+                  SKYPREF_<PATH>_H_ derived from the repo-relative path
+                  (e.g. src/util/check.h -> SKYPREF_UTIL_CHECK_H_).
+
+Usage:
+  tools/skypref_lint.py [paths...]     # default: src/
+
+Exits 0 when clean, 1 on findings, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, List, NamedTuple
+
+CXX_SUFFIXES = {".h", ".cc", ".cpp", ".hpp"}
+
+ALLOW_RE = re.compile(r"skypref-lint:\s*allow\(([a-z\-]+)\)")
+
+RULE_NO_EXCEPTIONS = "no-exceptions"
+RULE_NO_RAW_RANDOM = "no-raw-random"
+RULE_NO_STDOUT = "no-stdout"
+RULE_FLOAT_EQ = "float-eq"
+RULE_INCLUDE_GUARD = "include-guard"
+
+EXCEPTION_RE = re.compile(r"\b(throw|try|catch)\b")
+RAW_RANDOM_RE = re.compile(r"\b(?:s?rand)\s*\(|std::random_device")
+STDOUT_RE = re.compile(r"std::cout|(?<![A-Za-z0-9_])printf\s*\(")
+FLOAT_LITERAL = r"[0-9]+\.[0-9]*(?:[eE][+-]?[0-9]+)?[fFlL]?"
+FLOAT_EQ_RE = re.compile(
+    r"(?:(?:==|!=)\s*-?{lit})|(?:{lit}\s*(?:==|!=))".format(lit=FLOAT_LITERAL)
+)
+
+
+class Finding(NamedTuple):
+    path: Path
+    line: int
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_code(text: str) -> List[str]:
+    """Returns the file's lines with comments and string/char literals
+    blanked out (replaced by spaces), so rule regexes only see code.
+    Trailing `//` comments are preserved verbatim: that is where
+    skypref-lint: allow(...) suppressions live, and ALLOW_RE reads them
+    from the original line anyway."""
+    out = []
+    i = 0
+    n = len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    cur: List[str] = []
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                cur.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                cur.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                cur.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                cur.append(" ")
+                i += 1
+                continue
+            cur.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                cur.append(c)
+            else:
+                cur.append(" ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                cur.append("  ")
+                i += 2
+                continue
+            cur.append(c if c == "\n" else " ")
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                cur.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+            cur.append(" " if c != "\n" else "\n")
+        i += 1
+    return "".join(cur).split("\n")
+
+
+def expected_guard(relpath: Path) -> str:
+    mangled = re.sub(r"[^A-Za-z0-9]", "_", str(relpath)).upper()
+    if mangled.startswith("SRC_"):
+        mangled = mangled[len("SRC_"):]
+    return f"SKYPREF_{mangled}_"
+
+
+def is_suppressed(raw_line: str, rule: str) -> bool:
+    return any(m.group(1) == rule for m in ALLOW_RE.finditer(raw_line))
+
+
+def check_file(path: Path, repo_root: Path) -> List[Finding]:
+    rel = path.relative_to(repo_root)
+    raw = path.read_text(encoding="utf-8")
+    raw_lines = raw.split("\n")
+    code_lines = strip_code(raw)
+    findings: List[Finding] = []
+
+    in_random_home = rel.as_posix().startswith("src/util/random.")
+    in_core = rel.as_posix().startswith("src/core/")
+
+    def add(lineno: int, rule: str, message: str) -> None:
+        if not is_suppressed(raw_lines[lineno - 1], rule):
+            findings.append(Finding(rel, lineno, rule, message))
+
+    for lineno, code in enumerate(code_lines, start=1):
+        for m in EXCEPTION_RE.finditer(code):
+            add(lineno, RULE_NO_EXCEPTIONS,
+                f"'{m.group(1)}' in exception-free library code "
+                "(return Status/Result instead)")
+        if not in_random_home:
+            for _ in RAW_RANDOM_RE.finditer(code):
+                add(lineno, RULE_NO_RAW_RANDOM,
+                    "non-deterministic randomness outside src/util/random.* "
+                    "(use skypref::Rng, seeded)")
+        for _ in STDOUT_RE.finditer(code):
+            add(lineno, RULE_NO_STDOUT,
+                "library code must not print to stdout "
+                "(report through Status; stderr only for fatal aborts)")
+        if in_core:
+            for _ in FLOAT_EQ_RE.finditer(code):
+                add(lineno, RULE_FLOAT_EQ,
+                    "exact ==/!= against a floating-point literal in core "
+                    "solver code (compare with a tolerance, or annotate a "
+                    "deliberate exact-zero test)")
+
+    if path.suffix in (".h", ".hpp"):
+        guard = expected_guard(rel)
+        ifndef = re.search(r"^#ifndef\s+(\S+)", raw, re.MULTILINE)
+        define = re.search(r"^#define\s+(\S+)", raw, re.MULTILINE)
+        if not ifndef or not define:
+            add(1, RULE_INCLUDE_GUARD, f"missing include guard {guard}")
+        elif ifndef.group(1) != guard or define.group(1) != guard:
+            bad_line = raw[: ifndef.start()].count("\n") + 1
+            add(bad_line, RULE_INCLUDE_GUARD,
+                f"include guard is {ifndef.group(1)}, expected {guard}")
+
+    return findings
+
+
+def iter_sources(paths: Iterable[Path], repo_root: Path) -> Iterable[Path]:
+    for p in paths:
+        p = p if p.is_absolute() else repo_root / p
+        if p.is_file():
+            if p.suffix in CXX_SUFFIXES:
+                yield p
+        elif p.is_dir():
+            for child in sorted(p.rglob("*")):
+                if child.is_file() and child.suffix in CXX_SUFFIXES:
+                    yield child
+        else:
+            raise FileNotFoundError(p)
+
+
+def main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--repo-root", default=None,
+                        help="repo root for relative paths and guard names "
+                             "(default: parent of tools/)")
+    args = parser.parse_args(argv)
+
+    repo_root = Path(args.repo_root).resolve() if args.repo_root \
+        else Path(__file__).resolve().parent.parent
+    try:
+        sources = list(iter_sources([Path(p) for p in args.paths], repo_root))
+    except FileNotFoundError as err:
+        print(f"skypref_lint: no such path: {err.args[0]}", file=sys.stderr)
+        return 2
+
+    findings: List[Finding] = []
+    for source in sources:
+        findings.extend(check_file(source, repo_root))
+
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"skypref_lint: {len(findings)} finding(s) in "
+              f"{len(sources)} file(s)", file=sys.stderr)
+        return 1
+    print(f"skypref_lint: clean ({len(sources)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
