@@ -1,0 +1,262 @@
+/// The canonical hot-path perf harness: emits BENCH_exact.json, the
+/// machine-readable perf trajectory of the exact engine.
+///
+/// Three measurements, all at quick scale by default
+/// (SKYPREF_BENCH_SCALE=full enlarges them):
+///
+///   1. flatten      — one Det solve, lookup engine vs flattened engine
+///                     on identical inputs (subsets/sec and speedup);
+///   2. intra_group  — one single-group Det+ solve across 1/2/4/8-thread
+///                     pools via ParallelExactEngine (scaling curve);
+///   3. batch        — all-objects exact solve, per-target SkylineSolver
+///                     loop vs BatchExactSkylineProbabilities.
+///
+/// Every section cross-checks bit-identity so a perf number can never
+/// quietly come from a wrong answer. The binary is plain chrono + JSON —
+/// no google-benchmark — so CI can upload the artifact as-is.
+///
+/// Usage: bench_hotpath [output.json]   (default BENCH_exact.json)
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/exact.h"
+#include "src/core/parallel.h"
+#include "src/core/solver.h"
+#include "src/model/preference_model.h"
+#include "src/util/check.h"
+#include "src/workload/block_zipf_generator.h"
+#include "src/workload/uniform_generator.h"
+
+namespace skypref::bench {
+namespace {
+
+bool FullScale() {
+  const char* scale = std::getenv("SKYPREF_BENCH_SCALE");
+  return scale != nullptr && std::string(scale) == "full";
+}
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Best-of-reps wall time of one action (reps small; the workloads are
+/// deterministic, so best-of filters scheduler noise).
+template <typename Fn>
+double TimeBest(int reps, const Fn& fn) {
+  double best = -1.0;
+  for (int r = 0; r < reps; ++r) {
+    double start = Now();
+    fn();
+    double elapsed = Now() - start;
+    if (best < 0.0 || elapsed < best) best = elapsed;
+  }
+  return best;
+}
+
+std::string FormatDouble(double value) {
+  std::ostringstream out;
+  out.precision(6);
+  out << value;
+  return out.str();
+}
+
+/// Section 1: the flattening ablation. Large value domains make every
+/// subset pay d oracle lookups on the old path (no pair is ever shared),
+/// which is exactly the regime the pair table removes.
+std::string BenchFlatten() {
+  UniformOptions gen;
+  gen.objects = FullScale() ? 25 : 21;
+  gen.dimensions = 6;
+  gen.values_per_dimension = 50;
+  gen.seed = 7;
+  Dataset data = GenerateUniform(gen).value();
+  HashedPreferenceModel model(2013,
+                              HashedPreferenceModel::Style::kTotalUniform);
+
+  ExactOptions lookup;
+  lookup.engine = ExactOptions::Engine::kLookup;
+  lookup.prune_zero = false;  // fixed subset count for clean subsets/sec
+  ExactOptions flat = lookup;
+  flat.engine = ExactOptions::Engine::kFlat;
+
+  double lookup_value = 0.0, flat_value = 0.0;
+  ExactStats stats;
+  const int reps = 3;
+  double lookup_seconds = TimeBest(reps, [&] {
+    lookup_value = ExactSkylineProbability(data, 0, model, lookup, &stats)
+                       .value();
+  });
+  double flat_seconds = TimeBest(reps, [&] {
+    flat_value = ExactSkylineProbability(data, 0, model, flat, &stats)
+                     .value();
+  });
+  SKYPREF_CHECK(lookup_value == flat_value);  // bit-identity is the contract
+
+  double subsets = static_cast<double>(stats.subsets_visited);
+  std::ostringstream json;
+  json << "  \"flatten\": {\n"
+       << "    \"objects\": " << gen.objects << ",\n"
+       << "    \"dimensions\": " << gen.dimensions << ",\n"
+       << "    \"subsets\": " << stats.subsets_visited << ",\n"
+       << "    \"lookup_seconds\": " << FormatDouble(lookup_seconds) << ",\n"
+       << "    \"flat_seconds\": " << FormatDouble(flat_seconds) << ",\n"
+       << "    \"lookup_subsets_per_sec\": "
+       << FormatDouble(subsets / lookup_seconds) << ",\n"
+       << "    \"flat_subsets_per_sec\": "
+       << FormatDouble(subsets / flat_seconds) << ",\n"
+       << "    \"speedup\": " << FormatDouble(lookup_seconds / flat_seconds)
+       << ",\n"
+       << "    \"bit_identical\": true\n"
+       << "  }";
+  return json.str();
+}
+
+/// Section 2: intra-group scaling. One independence group (every
+/// candidate shares dim-0 value 1 against the target's 0) forces the
+/// whole solve through ParallelExactEngine's subtree tasks.
+std::string BenchIntraGroup() {
+  const std::size_t group = FullScale() ? 24 : 20;
+  Dataset data(2);
+  data.Append({0, 0}).CheckOK();
+  for (std::size_t i = 0; i < group; ++i) {
+    data.Append({1, static_cast<ValueId>(i + 1)}).CheckOK();
+  }
+  HashedPreferenceModel model(2013,
+                              HashedPreferenceModel::Style::kTotalUniform);
+
+  std::ostringstream json;
+  json << "  \"intra_group_scaling\": {\n"
+       << "    \"group_size\": " << group << ",\n";
+  double base_seconds = 0.0;
+  double reference = -1.0;
+  bool bit_identical = true;
+  std::uint64_t subsets = 0;
+  json << "    \"threads\": [\n";
+  const std::vector<std::size_t> thread_counts = {1, 2, 4, 8};
+  for (std::size_t t = 0; t < thread_counts.size(); ++t) {
+    ThreadPool pool(thread_counts[t]);
+    double value = 0.0;
+    SolveStats stats;
+    double seconds = TimeBest(2, [&] {
+      value = ParallelExactSkylineProbability(data, 0, model, pool, {}, {},
+                                              &stats)
+                  .value();
+    });
+    subsets = stats.subsets_visited;
+    if (reference < 0.0) {
+      reference = value;
+      base_seconds = seconds;
+    } else if (value != reference) {
+      bit_identical = false;
+    }
+    json << "      {\"threads\": " << thread_counts[t]
+         << ", \"seconds\": " << FormatDouble(seconds)
+         << ", \"subsets_per_sec\": "
+         << FormatDouble(static_cast<double>(subsets) / seconds)
+         << ", \"speedup_vs_1\": " << FormatDouble(base_seconds / seconds)
+         << "}" << (t + 1 < thread_counts.size() ? "," : "") << "\n";
+  }
+  json << "    ],\n"
+       << "    \"subsets\": " << subsets << ",\n"
+       << "    \"bit_identical_across_threads\": "
+       << (bit_identical ? "true" : "false") << "\n"
+       << "  }";
+  SKYPREF_CHECK(bit_identical);
+  return json.str();
+}
+
+/// Section 3: all-objects throughput — the per-target SkylineSolver loop
+/// against the shared-preprocessing batch solver on the same pool count.
+std::string BenchBatch() {
+  BlockZipfOptions gen;
+  gen.objects = FullScale() ? 2000 : 400;
+  gen.dimensions = 3;
+  gen.block_size = 12;
+  gen.values_per_block = 6;
+  gen.theta = 1.0;
+  gen.seed = 7;
+  Dataset data = GenerateBlockZipf(gen).value();
+  HashedPreferenceModel base(2013,
+                             HashedPreferenceModel::Style::kTotalUniform);
+  BlockLocalPreferenceModel model(base, gen.values_per_block);
+
+  auto solver = SkylineSolver::Create(data, model).value();
+  std::vector<double> serial(data.size(), 0.0);
+  double serial_seconds = TimeBest(2, [&] {
+    for (ObjectId target = 0; target < data.size(); ++target) {
+      serial[target] = solver.Exact(target).value();
+    }
+  });
+
+  ThreadPool pool(ThreadPool::DefaultThreads());
+  std::vector<double> batch;
+  BatchExactStats stats;
+  double batch_seconds = TimeBest(2, [&] {
+    batch = BatchExactSkylineProbabilities(data, model, pool, {}, &stats)
+                .value();
+  });
+  bool bit_identical = batch == serial;
+  SKYPREF_CHECK(bit_identical);
+
+  double targets = static_cast<double>(data.size());
+  std::ostringstream json;
+  json << "  \"batch_all_objects\": {\n"
+       << "    \"objects\": " << data.size() << ",\n"
+       << "    \"dimensions\": " << gen.dimensions << ",\n"
+       << "    \"pool_threads\": " << pool.thread_count() << ",\n"
+       << "    \"per_target_seconds\": " << FormatDouble(serial_seconds)
+       << ",\n"
+       << "    \"batch_seconds\": " << FormatDouble(batch_seconds) << ",\n"
+       << "    \"per_target_targets_per_sec\": "
+       << FormatDouble(targets / serial_seconds) << ",\n"
+       << "    \"batch_targets_per_sec\": "
+       << FormatDouble(targets / batch_seconds) << ",\n"
+       << "    \"speedup\": " << FormatDouble(serial_seconds / batch_seconds)
+       << ",\n"
+       << "    \"distinct_pair_probs\": " << stats.distinct_pair_probs
+       << ",\n"
+       << "    \"subsets_visited\": " << stats.subsets_visited << ",\n"
+       << "    \"bit_identical\": true\n"
+       << "  }";
+  return json.str();
+}
+
+int Main(int argc, char** argv) {
+  const std::string path = argc > 1 ? argv[1] : "BENCH_exact.json";
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"bench\": \"bench_hotpath\",\n"
+       << "  \"scale\": \"" << (FullScale() ? "full" : "quick") << "\",\n"
+       << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
+       << ",\n";
+  std::fprintf(stderr, "bench_hotpath: flatten...\n");
+  json << BenchFlatten() << ",\n";
+  std::fprintf(stderr, "bench_hotpath: intra-group scaling...\n");
+  json << BenchIntraGroup() << ",\n";
+  std::fprintf(stderr, "bench_hotpath: batch all-objects...\n");
+  json << BenchBatch() << "\n}\n";
+
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "bench_hotpath: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  out << json.str();
+  out.close();
+  std::fprintf(stderr, "bench_hotpath: wrote %s\n", path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace skypref::bench
+
+int main(int argc, char** argv) { return skypref::bench::Main(argc, argv); }

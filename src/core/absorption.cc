@@ -82,4 +82,62 @@ std::vector<ObjectId> AbsorbCandidates(const Dataset& data, ObjectId target,
   return survivors;
 }
 
+ValuePostings::ValuePostings(const Dataset& data) {
+  for (ObjectId id = 0; id < data.size(); ++id) {
+    for (DimensionId j = 0; j < data.dimensions(); ++j) {
+      postings_[{j, data.value(id, j)}].push_back(id);
+    }
+  }
+}
+
+std::vector<ObjectId> AbsorbAllCandidatesIndexed(const Dataset& data,
+                                                 ObjectId target,
+                                                 const ValuePostings& postings,
+                                                 AbsorptionStats* stats) {
+  const DimensionId d = static_cast<DimensionId>(data.dimensions());
+  const ObjectId n = data.size();
+  std::vector<bool> removed(n, false);
+  removed[target] = true;  // the target is never its own candidate
+
+  // Same pass as AbsorbCandidates; ascending ObjectId order is ascending
+  // candidate-position order for the all-candidates list.
+  for (ObjectId id = 0; id < n; ++id) {
+    if (removed[id]) continue;
+
+    DimensionId best_dim = d;
+    std::size_t best_size = static_cast<std::size_t>(-1);
+    bool differs_somewhere = false;
+    for (DimensionId j = 0; j < d; ++j) {
+      ValueId v = data.value(id, j);
+      if (v == data.value(target, j)) continue;
+      differs_somewhere = true;
+      std::size_t size = postings.list(j, v).size();
+      if (size < best_size) {
+        best_size = size;
+        best_dim = j;
+      }
+    }
+    if (!differs_somewhere) {
+      removed[id] = true;  // duplicates the target; cannot dominate
+      continue;
+    }
+
+    for (ObjectId other : postings.list(best_dim, data.value(id, best_dim))) {
+      if (other == id || removed[other]) continue;
+      if (Absorbs(data, target, id, other)) removed[other] = true;
+    }
+  }
+
+  std::vector<ObjectId> survivors;
+  survivors.reserve(n - 1);
+  for (ObjectId id = 0; id < n; ++id) {
+    if (!removed[id]) survivors.push_back(id);
+  }
+  if (stats != nullptr) {
+    stats->input_candidates = n - 1;
+    stats->absorbed = (n - 1) - survivors.size();
+  }
+  return survivors;
+}
+
 }  // namespace skypref

@@ -19,10 +19,13 @@
 /// description.
 
 #include <span>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/model/dataset.h"
 #include "src/model/types.h"
+#include "src/util/hash.h"
 
 namespace skypref {
 
@@ -37,6 +40,40 @@ struct AbsorptionStats {
 std::vector<ObjectId> AbsorbCandidates(const Dataset& data, ObjectId target,
                                        std::span<const ObjectId> candidates,
                                        AbsorptionStats* stats = nullptr);
+
+/// Global posting lists of a dataset: (dimension, value) -> the objects
+/// using that value, in ascending ObjectId order. Built once, then shared
+/// by every target of an all-objects query (the dominance-candidate
+/// adjacency that AbsorbCandidates otherwise rebuilds per call). Immutable
+/// after construction, so concurrent lookups are safe.
+class ValuePostings {
+ public:
+  explicit ValuePostings(const Dataset& data);
+
+  /// Objects whose value on \p dim is \p value; empty when unused.
+  std::span<const ObjectId> list(DimensionId dim, ValueId value) const {
+    auto it = postings_.find({dim, value});
+    if (it == postings_.end()) return {};
+    return it->second;
+  }
+
+ private:
+  std::unordered_map<std::pair<DimensionId, ValueId>, std::vector<ObjectId>,
+                     PairHash>
+      postings_;
+};
+
+/// AbsorbCandidates over ALL objects except \p target, driven by the
+/// shared \p postings index instead of per-call posting lists. Returns the
+/// identical survivor list (same absorber scan order and tie-breaks): for
+/// every dimension where an absorber differs from the target, the global
+/// posting list equals the candidate-local one because the target's own
+/// value differs and is therefore never listed.
+std::vector<ObjectId> AbsorbAllCandidatesIndexed(const Dataset& data,
+                                                 ObjectId target,
+                                                 const ValuePostings& postings,
+                                                 AbsorptionStats* stats =
+                                                     nullptr);
 
 /// True iff \p absorbed is absorbed by \p absorber with respect to
 /// \p target, i.e. they match on every dimension where the absorber

@@ -17,23 +17,47 @@
 /// adding/removing one object from the running subset touches at most d
 /// per-dimension value counters.
 ///
+/// Two engines implement the same walk:
+///
+///  * FlatExactEngine (default) — the solve is preceded by flattening the
+///    instance into a FlatInstance: the distinct (dim, value) factors
+///    become a dense pair-id table with their Pr(v <= O.j) probabilities
+///    precomputed, and each candidate carries a compact index list of the
+///    pairs where it differs from the target (CSR layout). The DFS inner
+///    loop is then pure array arithmetic — no model hash lookups, no
+///    `q[j] == o[j]` branch, and multiplicity counters indexed by dense
+///    pair id instead of per-dimension value-id vectors sized to the max
+///    ValueId. Multiplication and accumulation order are IDENTICAL to the
+///    lookup engine, so results are bit-identical.
+///  * LookupExactEngine — the original direct-from-model walk, kept as
+///    the in-tree reference for tests and the bench_hotpath ablation
+///    (select with ExactOptions::engine = ExactOptions::Engine::kLookup).
+///
 /// Additional engineering on top of the paper:
 ///  * zero subtrees are pruned — once Pr(E_I) = 0, every superset of I
 ///    also has probability 0 and contributes nothing (toggle via
 ///    ExactOptions::prune_zero for the ablation bench);
 ///  * a work budget and wall-clock limit so benches can report "did not
 ///    finish" instead of hanging (the problem is #P-complete; Det is
-///    exponential by design).
+///    exponential by design). Callers that fan one query out over several
+///    solves (Det+ groups, batch all-objects) pass one precomputed shared
+///    deadline so the total wall time honors the limit once, not once per
+///    solve.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <optional>
 #include <span>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/core/oracles.h"
 #include "src/model/dataset.h"
 #include "src/model/preference_model.h"
 #include "src/model/types.h"
+#include "src/util/hash.h"
 #include "src/util/status.h"
 
 namespace skypref {
@@ -47,8 +71,22 @@ struct ExactOptions {
   /// (0 = unlimited). Checked every few thousand subsets.
   double time_limit_seconds = 0.0;
 
+  /// A precomputed absolute deadline shared by several solves of one
+  /// logical query; when set it takes precedence over
+  /// time_limit_seconds. Multi-solve drivers (Det+ groups, the batch
+  /// all-objects solver) set this once up front so the whole query — not
+  /// each solve independently — observes the time limit.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+
   /// Skip subtrees whose joint probability is exactly zero.
   bool prune_zero = true;
+
+  /// Which DFS engine runs the walk; results are bit-identical.
+  enum class Engine : std::uint8_t {
+    kFlat,    ///< flattened pair-table hot path (default)
+    kLookup,  ///< original per-dimension model-lookup walk (reference)
+  };
+  Engine engine = Engine::kFlat;
 };
 
 /// Statistics of one exact computation, for benches and tests.
@@ -81,25 +119,183 @@ Result<double> ExactSkylineProbability(const Dataset& data, ObjectId target,
 
 namespace internal {
 
+/// Resolves the effective deadline of one solve: an explicit shared
+/// deadline wins, otherwise time_limit_seconds counts from now.
+inline std::optional<std::chrono::steady_clock::time_point> ResolveDeadline(
+    const ExactOptions& options) {
+  if (options.deadline.has_value()) return options.deadline;
+  if (options.time_limit_seconds > 0.0) {
+    return std::chrono::steady_clock::now() +
+           std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+               std::chrono::duration<double>(options.time_limit_seconds));
+  }
+  return std::nullopt;
+}
+
+inline Status SubsetBudgetExhausted(std::uint64_t max_subsets) {
+  return Status::ResourceExhausted(
+      "exact solver exceeded subset budget of " + std::to_string(max_subsets));
+}
+
+inline Status TimeLimitExhausted() {
+  return Status::ResourceExhausted("exact solver exceeded its time limit");
+}
+
+/// One exact instance, flattened for the DFS hot loop.
+///
+/// The distinct (dim, value) factors of Eq. 6 — the values where some
+/// candidate differs from the target — are assigned dense pair ids in
+/// first-encounter order (candidate-major, dimension-minor, exactly the
+/// order the lookup engine discovers them). `pair_prob[p]` caches
+/// Pr(v <= O.j) for pair p; candidate i owns the id slice
+/// `pair_ids[offsets[i] .. offsets[i+1])`, listing its differing
+/// dimensions in ascending dimension order. Because two candidates
+/// sharing a (dim, value) map to the SAME pair id, a multiplicity counter
+/// per pair id reproduces the "distinct values count once" semantics of
+/// the per-dimension counters, and the per-candidate id order reproduces
+/// the lookup engine's multiplication order bit for bit.
 template <typename Oracle>
-class ExactEngine {
+struct FlatInstance {
+  using Num = typename Oracle::NumType;
+
+  std::vector<Num> pair_prob;           ///< dense pair id -> Pr(v <= O.j)
+  std::vector<std::uint32_t> pair_ids;  ///< concatenated candidate slices
+  std::vector<std::uint32_t> offsets;   ///< size candidates+1; CSR offsets
+
+  std::size_t candidate_count() const {
+    return offsets.empty() ? 0 : offsets.size() - 1;
+  }
+  std::size_t pair_count() const { return pair_prob.size(); }
+
+  std::span<const std::uint32_t> pairs_of(std::size_t candidate) const {
+    return std::span<const std::uint32_t>(pair_ids.data() + offsets[candidate],
+                                          offsets[candidate + 1] -
+                                              offsets[candidate]);
+  }
+};
+
+/// Flattens (data, target, candidates, oracle) into a FlatInstance. All
+/// oracle lookups for the whole solve happen here, once per distinct
+/// (dim, value) pair; the DFS afterwards touches only dense arrays.
+template <typename Oracle>
+FlatInstance<Oracle> BuildFlatInstance(const Dataset& data, ObjectId target,
+                                       std::span<const ObjectId> candidates,
+                                       const Oracle& oracle) {
+  FlatInstance<Oracle> instance;
+  std::unordered_map<std::pair<DimensionId, ValueId>, std::uint32_t, PairHash>
+      pair_index;
+  instance.offsets.reserve(candidates.size() + 1);
+  instance.offsets.push_back(0);
+  std::span<const ValueId> o = data.object(target);
+  for (ObjectId id : candidates) {
+    std::span<const ValueId> q = data.object(id);
+    for (DimensionId j = 0; j < data.dimensions(); ++j) {
+      if (q[j] == o[j]) continue;
+      auto [it, inserted] = pair_index.try_emplace(
+          {j, q[j]}, static_cast<std::uint32_t>(instance.pair_prob.size()));
+      if (inserted) {
+        instance.pair_prob.push_back(oracle.LessEq(j, q[j], o[j]));
+      }
+      instance.pair_ids.push_back(it->second);
+    }
+    instance.offsets.push_back(
+        static_cast<std::uint32_t>(instance.pair_ids.size()));
+  }
+  return instance;
+}
+
+/// The flattened DFS engine: walks the inclusion-exclusion tree over a
+/// prebuilt FlatInstance. The instance must outlive the engine.
+template <typename Oracle>
+class FlatExactEngine {
  public:
   using Num = typename Oracle::NumType;
 
-  ExactEngine(const Dataset& data, ObjectId target,
-              std::span<const ObjectId> candidates, const Oracle& oracle,
-              const ExactOptions& options)
+  FlatExactEngine(const FlatInstance<Oracle>& instance,
+                  const ExactOptions& options)
+      : instance_(&instance),
+        options_(options),
+        deadline_(ResolveDeadline(options)) {
+    counts_.assign(instance.pair_count(), 0);
+  }
+
+  Result<Num> Run(ExactStats* stats) {
+    status_ = Status::OK();
+    accumulator_ = Accumulator<Num>();
+    accumulator_.Add(Num(1));  // the k = 0 term of Eq. 4
+    visited_ = 0;
+    Dfs(0, Num(1), /*positive_sign=*/false);
+    if (stats != nullptr) stats->subsets_visited = visited_;
+    if (!status_.ok()) return status_;
+    return accumulator_.Value();
+  }
+
+ private:
+  // Extends the current subset with each candidate index >= next in turn.
+  // `product` is Pr(E_I) for the current subset I; `positive_sign` is the
+  // sign of the NEXT level's terms ((-1)^{|I|+1}).
+  void Dfs(std::size_t next, const Num& product, bool positive_sign) {
+    const std::size_t m = instance_->candidate_count();
+    for (std::size_t i = next; i < m && status_.ok(); ++i) {
+      if (!ChargeVisit()) return;
+      Num extended = product;
+      // Multiply in the factors of pairs the candidate newly contributes
+      // (sharing computation: pairs already present in I count once).
+      std::span<const std::uint32_t> pairs = instance_->pairs_of(i);
+      for (std::uint32_t p : pairs) {
+        if (counts_[p]++ == 0) {
+          extended = extended * instance_->pair_prob[p];
+        }
+      }
+      accumulator_.Add(positive_sign ? extended : -extended);
+      if (!options_.prune_zero || !(extended == Num(0))) {
+        Dfs(i + 1, extended, !positive_sign);
+      }
+      for (std::uint32_t p : pairs) --counts_[p];
+    }
+  }
+
+  bool ChargeVisit() {
+    ++visited_;
+    if (options_.max_subsets != 0 && visited_ > options_.max_subsets) {
+      status_ = SubsetBudgetExhausted(options_.max_subsets);
+      return false;
+    }
+    if (deadline_.has_value() && (visited_ & 0xfff) == 0 &&
+        std::chrono::steady_clock::now() > *deadline_) {
+      status_ = TimeLimitExhausted();
+      return false;
+    }
+    return true;
+  }
+
+  const FlatInstance<Oracle>* instance_;
+  ExactOptions options_;
+  std::optional<std::chrono::steady_clock::time_point> deadline_;
+
+  std::vector<std::uint32_t> counts_;  // pair id -> multiplicity in I
+  Accumulator<Num> accumulator_;
+  std::uint64_t visited_ = 0;
+  Status status_;
+};
+
+/// The original engine: per-dimension value-id counters and on-the-fly
+/// oracle lookups. Kept as the bit-exact reference the flattened path is
+/// verified against (tests) and measured against (bench_hotpath).
+template <typename Oracle>
+class LookupExactEngine {
+ public:
+  using Num = typename Oracle::NumType;
+
+  LookupExactEngine(const Dataset& data, ObjectId target,
+                    std::span<const ObjectId> candidates, const Oracle& oracle,
+                    const ExactOptions& options)
       : data_(data),
         target_(target),
         candidates_(candidates),
         oracle_(oracle),
         options_(options),
-        deadline_valid_(options.time_limit_seconds > 0.0) {
-    if (deadline_valid_) {
-      deadline_ = std::chrono::steady_clock::now() +
-                  std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-                      std::chrono::duration<double>(options.time_limit_seconds));
-    }
+        deadline_(ResolveDeadline(options)) {
     // Per-dimension counters sized to the largest value id we will see.
     counts_.resize(data.dimensions());
     for (DimensionId j = 0; j < data.dimensions(); ++j) {
@@ -123,15 +319,10 @@ class ExactEngine {
   }
 
  private:
-  // Extends the current subset with each candidate index >= next in turn.
-  // `product` is Pr(E_I) for the current subset I; `positive_sign` is the
-  // sign of the NEXT level's terms ((-1)^{|I|+1}).
   void Dfs(std::size_t next, const Num& product, bool positive_sign) {
     for (std::size_t i = next; i < candidates_.size() && status_.ok(); ++i) {
       if (!ChargeVisit()) return;
       Num extended = product;
-      // Multiply in the factors of values Qi newly contributes (sharing
-      // computation: values already present in I contribute nothing).
       std::span<const ValueId> q = data_.object(candidates_[i]);
       std::span<const ValueId> o = data_.object(target_);
       for (DimensionId j = 0; j < data_.dimensions(); ++j) {
@@ -153,16 +344,12 @@ class ExactEngine {
   bool ChargeVisit() {
     ++visited_;
     if (options_.max_subsets != 0 && visited_ > options_.max_subsets) {
-      status_ = Status::ResourceExhausted(
-          "exact solver exceeded subset budget of " +
-          std::to_string(options_.max_subsets));
+      status_ = SubsetBudgetExhausted(options_.max_subsets);
       return false;
     }
-    if (deadline_valid_ && (visited_ & 0xfff) == 0 &&
-        std::chrono::steady_clock::now() > deadline_) {
-      status_ = Status::ResourceExhausted(
-          "exact solver exceeded time limit of " +
-          std::to_string(options_.time_limit_seconds) + "s");
+    if (deadline_.has_value() && (visited_ & 0xfff) == 0 &&
+        std::chrono::steady_clock::now() > *deadline_) {
+      status_ = TimeLimitExhausted();
       return false;
     }
     return true;
@@ -173,21 +360,18 @@ class ExactEngine {
   std::span<const ObjectId> candidates_;
   const Oracle& oracle_;
   ExactOptions options_;
+  std::optional<std::chrono::steady_clock::time_point> deadline_;
 
   std::vector<std::vector<std::uint32_t>> counts_;  // per dim: value -> count
   Accumulator<Num> accumulator_;
   std::uint64_t visited_ = 0;
   Status status_;
-  bool deadline_valid_;
-  std::chrono::steady_clock::time_point deadline_;
 };
 
-}  // namespace internal
-
 template <typename Oracle>
-Result<typename Oracle::NumType> ExactSkylineProbability(
-    const Dataset& data, ObjectId target, std::span<const ObjectId> candidates,
-    const Oracle& oracle, const ExactOptions& options, ExactStats* stats) {
+Status ValidateExactInputs(const Dataset& data, ObjectId target,
+                           std::span<const ObjectId> candidates,
+                           const Oracle& /*oracle*/) {
   if (target >= data.size()) {
     return Status::OutOfRange("target object " + std::to_string(target) +
                               " out of range (n=" + std::to_string(data.size()) +
@@ -203,8 +387,26 @@ Result<typename Oracle::NumType> ExactSkylineProbability(
           "candidate list must not contain the target object");
     }
   }
-  internal::ExactEngine<Oracle> engine(data, target, candidates, oracle,
-                                       options);
+  return Status::OK();
+}
+
+}  // namespace internal
+
+template <typename Oracle>
+Result<typename Oracle::NumType> ExactSkylineProbability(
+    const Dataset& data, ObjectId target, std::span<const ObjectId> candidates,
+    const Oracle& oracle, const ExactOptions& options, ExactStats* stats) {
+  Status valid = internal::ValidateExactInputs(data, target, candidates,
+                                               oracle);
+  if (!valid.ok()) return valid;
+  if (options.engine == ExactOptions::Engine::kLookup) {
+    internal::LookupExactEngine<Oracle> engine(data, target, candidates,
+                                               oracle, options);
+    return engine.Run(stats);
+  }
+  internal::FlatInstance<Oracle> instance =
+      internal::BuildFlatInstance(data, target, candidates, oracle);
+  internal::FlatExactEngine<Oracle> engine(instance, options);
   return engine.Run(stats);
 }
 

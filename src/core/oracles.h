@@ -63,6 +63,15 @@ class RationalOracle {
 /// Numeric accumulation policy: doubles get compensated summation (the
 /// inclusion-exclusion series alternates signs over up to 2^n terms),
 /// rationals are exact and accumulate directly.
+///
+/// Compensated summation is NOT associative: splitting one sum into
+/// partial accumulators and folding them re-associates the compensation
+/// terms. Parallel reductions therefore (a) fix the split as a pure
+/// function of the instance — never of the thread count — and (b) fold
+/// the partial values in creation order (see ParallelExactEngine), so any
+/// thread count produces the identical bits. Rational accumulation is
+/// exact and associative; the same protocol then matches the serial sum
+/// exactly.
 template <typename Num>
 class Accumulator {
  public:

@@ -1,7 +1,13 @@
 #include "src/core/parallel.h"
 
 #include <algorithm>
-#include <vector>
+#include <cmath>
+#include <functional>
+#include <memory>
+#include <numeric>
+#include <span>
+#include <unordered_map>
+#include <utility>
 
 #include "src/core/absorption.h"
 #include "src/core/exact.h"
@@ -12,11 +18,27 @@
 
 namespace skypref {
 
-Result<double> ParallelExactSkylineProbability(const Dataset& data,
-                                               ObjectId target,
-                                               const PreferenceModel& model,
-                                               ThreadPool& pool,
-                                               const ExactOptions& options) {
+namespace {
+
+/// Group indices sorted by size descending, ties in partition order, so
+/// the dynamic ParallelFor dispatch starts the stragglers first.
+std::vector<std::size_t> LongestFirstOrder(
+    const std::vector<std::vector<ObjectId>>& groups) {
+  std::vector<std::size_t> order(groups.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&groups](std::size_t a, std::size_t b) {
+                     return groups[a].size() > groups[b].size();
+                   });
+  return order;
+}
+
+}  // namespace
+
+Result<double> ParallelExactSkylineProbability(
+    const Dataset& data, ObjectId target, const PreferenceModel& model,
+    ThreadPool& pool, const ExactOptions& options,
+    const ParallelOptions& parallel, SolveStats* stats) {
   SKYPREF_RETURN_IF_ERROR(data.Validate());
 #if defined(SKYPREF_ENABLE_DCHECKS) && SKYPREF_ENABLE_DCHECKS
   SKYPREF_RETURN_IF_ERROR(model.Validate(data));
@@ -29,30 +51,257 @@ Result<double> ParallelExactSkylineProbability(const Dataset& data,
   for (ObjectId id = 0; id < data.size(); ++id) {
     if (id != target) candidates.push_back(id);
   }
+  SolveStats local;
+  local.candidates = candidates.size();
   candidates = AbsorbCandidates(data, target, candidates);
+  local.after_absorption = candidates.size();
   std::vector<std::vector<ObjectId>> groups =
       PartitionCandidates(data, target, candidates);
+  local.groups = groups.size();
+  local.group_sizes.reserve(groups.size());
+  for (const auto& group : groups) {
+    local.largest_group = std::max(local.largest_group, group.size());
+    local.group_sizes.push_back(group.size());
+  }
 
-  std::vector<double> survival(groups.size(), 1.0);
-  std::vector<Status> statuses(groups.size());
+  // ONE deadline for the whole query. Resolving time_limit_seconds per
+  // group solve (the previous behavior) let the total wall time reach
+  // groups x limit.
+  ExactOptions opts = options;
+  opts.deadline = internal::ResolveDeadline(options);
+
+  const std::size_t group_count = groups.size();
   DoubleOracle oracle(model);
-  pool.ParallelFor(groups.size(), [&](std::size_t g) {
-    auto result =
-        ExactSkylineProbability(data, target, groups[g], oracle, options);
+  std::vector<double> survival(group_count, 1.0);
+  std::vector<Status> statuses(group_count);
+  std::vector<std::uint64_t> visited(group_count, 0);
+
+  // Groups big enough to dominate the query split into subtree tasks;
+  // the rest run serially, one work item per group. Everything goes into
+  // a single flat work list — ParallelFor must not nest — dispatched
+  // longest-first.
+  std::vector<internal::FlatInstance<DoubleOracle>> instances(group_count);
+  std::vector<std::unique_ptr<internal::ParallelExactEngine<DoubleOracle>>>
+      engines(group_count);
+  std::vector<std::function<void()>> work;
+  for (std::size_t g : LongestFirstOrder(groups)) {
+    const bool split = options.engine == ExactOptions::Engine::kFlat &&
+                       parallel.exact_tasks > 1 &&
+                       groups[g].size() >= parallel.min_split_candidates;
+    if (split) {
+      instances[g] = internal::BuildFlatInstance(
+          data, target, std::span<const ObjectId>(groups[g]), oracle);
+      engines[g] =
+          std::make_unique<internal::ParallelExactEngine<DoubleOracle>>(
+              instances[g], opts, parallel.exact_tasks);
+      if (engines[g]->BuildTasks()) {
+        for (std::size_t k = 0; k < engines[g]->task_count(); ++k) {
+          auto* engine = engines[g].get();
+          work.push_back([engine, k] { engine->RunTask(k); });
+        }
+      }
+    } else {
+      work.push_back([&, g] {
+        ExactStats exact_stats;
+        auto result = ExactSkylineProbability(
+            data, target, std::span<const ObjectId>(groups[g]), oracle, opts,
+            &exact_stats);
+        visited[g] = exact_stats.subsets_visited;
+        if (result.ok()) {
+          survival[g] = result.value();
+        } else {
+          statuses[g] = result.status();
+        }
+      });
+    }
+  }
+  pool.ParallelFor(work.size(), [&work](std::size_t i) { work[i](); });
+  for (std::size_t g = 0; g < group_count; ++g) {
+    if (engines[g] == nullptr) continue;
+    ExactStats exact_stats;
+    auto result = engines[g]->Reduce(&exact_stats);
+    visited[g] = exact_stats.subsets_visited;
     if (result.ok()) {
       survival[g] = result.value();
     } else {
       statuses[g] = result.status();
     }
-  });
+  }
+
+  // Survival factors multiply in partition order (Theorem 4); the first
+  // failing group's status wins, also in partition order.
   double product = 1.0;
-  for (std::size_t g = 0; g < groups.size(); ++g) {
+  for (std::size_t g = 0; g < group_count; ++g) {
     SKYPREF_RETURN_IF_ERROR(statuses[g]);
     SKYPREF_DCHECK_PROB(survival[g]);
     product *= survival[g];
+    local.subsets_visited += visited[g];
   }
+  if (stats != nullptr) *stats = local;
   SKYPREF_DCHECK_PROB(product);
   return ClampProbability(product);
+}
+
+namespace {
+
+/// Packs one (dim, candidate value, target value) preference lookup into
+/// a hashable key; ValueId is 32-bit, so both values fit one uint64.
+using PairKey = std::pair<DimensionId, std::uint64_t>;
+using PairProbCache = std::unordered_map<PairKey, double, PairHash>;
+
+PairKey MakePairKey(DimensionId dim, ValueId a, ValueId b) {
+  return {dim, (static_cast<std::uint64_t>(a) << 32) |
+                   static_cast<std::uint64_t>(b)};
+}
+
+/// Oracle reading the shared precomputed probability table. Entries are
+/// the exact doubles PreferenceModel::LessEq produced, so solves through
+/// this oracle are bit-identical to uncached ones.
+class CachedDoubleOracle {
+ public:
+  using NumType = double;
+
+  explicit CachedDoubleOracle(const PairProbCache& cache) : cache_(&cache) {}
+
+  double LessEq(DimensionId dim, ValueId a, ValueId b) const {
+    auto it = cache_->find(MakePairKey(dim, a, b));
+    SKYPREF_DCHECK(it != cache_->end());
+    return it->second;
+  }
+
+ private:
+  const PairProbCache* cache_;
+};
+
+}  // namespace
+
+Result<std::vector<double>> BatchExactSkylineProbabilities(
+    const Dataset& data, const PreferenceModel& model, ThreadPool& pool,
+    const SolverOptions& options, BatchExactStats* stats) {
+  SKYPREF_RETURN_IF_ERROR(data.Validate());
+  SKYPREF_RETURN_IF_ERROR(model.Validate(data));
+  const std::size_t n = data.size();
+
+  BatchExactStats local;
+  local.targets = n;
+
+  // ONE deadline for the whole batch (see ExactOptions::deadline).
+  ExactOptions exact = options.exact;
+  exact.deadline = internal::ResolveDeadline(exact);
+
+  // Phase A: absorption + partition per target, sharing the global
+  // posting lists; chunked so each worker recycles one workspace.
+  std::vector<std::vector<std::vector<ObjectId>>> groups(n);
+  if (options.preprocess) {
+    ValuePostings postings(data);
+    constexpr std::size_t kChunk = 16;
+    const std::size_t chunks = (n + kChunk - 1) / kChunk;
+    pool.ParallelFor(chunks, [&](std::size_t c) {
+      PartitionWorkspace workspace;
+      const std::size_t begin = c * kChunk;
+      const std::size_t end = std::min(n, begin + kChunk);
+      for (ObjectId t = begin; t < end; ++t) {
+        std::vector<ObjectId> candidates =
+            AbsorbAllCandidatesIndexed(data, t, postings);
+        groups[t] = PartitionCandidates(
+            data, t, std::span<const ObjectId>(candidates), workspace);
+      }
+    });
+  } else {
+    for (ObjectId t = 0; t < n; ++t) {
+      std::vector<ObjectId> candidates;
+      candidates.reserve(n - 1);
+      for (ObjectId id = 0; id < n; ++id) {
+        if (id != t) candidates.push_back(id);
+      }
+      groups[t].push_back(std::move(candidates));
+    }
+  }
+  for (ObjectId t = 0; t < n; ++t) {
+    std::size_t after = 0;
+    for (const auto& group : groups[t]) {
+      after += group.size();
+      local.largest_group = std::max(local.largest_group, group.size());
+    }
+    local.groups += groups[t].size();
+    local.absorbed += (n - 1) - after;
+  }
+
+  // Phase B: every distinct Pr(q.j <= o.j) any target's pair table needs,
+  // computed once. Serial — these model lookups ARE the work being
+  // deduplicated across targets.
+  PairProbCache cache;
+  DoubleOracle oracle(model);
+  for (ObjectId t = 0; t < n; ++t) {
+    std::span<const ValueId> o = data.object(t);
+    for (const auto& group : groups[t]) {
+      for (ObjectId id : group) {
+        std::span<const ValueId> q = data.object(id);
+        for (DimensionId j = 0; j < data.dimensions(); ++j) {
+          if (q[j] == o[j]) continue;
+          auto [it, inserted] =
+              cache.try_emplace(MakePairKey(j, q[j], o[j]), 0.0);
+          if (inserted) it->second = oracle.LessEq(j, q[j], o[j]);
+        }
+      }
+    }
+  }
+  local.distinct_pair_probs = cache.size();
+
+  // Phase C: per-target solves, largest-work-first so a heavy target
+  // cannot serialize the tail. Work ~ sum over groups of 2^|group|; the
+  // exponent cap just keeps the weights finite.
+  std::vector<double> weight(n, 0.0);
+  for (ObjectId t = 0; t < n; ++t) {
+    for (const auto& group : groups[t]) {
+      weight[t] += std::ldexp(
+          1.0, static_cast<int>(std::min<std::size_t>(group.size(), 512)));
+    }
+  }
+  std::vector<ObjectId> order(n);
+  std::iota(order.begin(), order.end(), ObjectId{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&weight](ObjectId a, ObjectId b) {
+                     return weight[a] > weight[b];
+                   });
+
+  CachedDoubleOracle cached(cache);
+  std::vector<double> results(n, 1.0);
+  std::vector<Status> statuses(n);
+  std::vector<std::uint64_t> visited(n, 0);
+  pool.ParallelFor(n, [&](std::size_t k) {
+    const ObjectId t = order[k];
+    double product = 1.0;
+    Status status;
+    for (const auto& group : groups[t]) {
+      ExactStats exact_stats;
+      auto result = ExactSkylineProbability(
+          data, t, std::span<const ObjectId>(group), cached, exact,
+          &exact_stats);
+      visited[t] += exact_stats.subsets_visited;
+      if (!result.ok()) {
+        status = result.status();
+        break;
+      }
+      SKYPREF_DCHECK_PROB(result.value());
+      product *= result.value();
+    }
+    if (status.ok()) {
+      SKYPREF_DCHECK_PROB(product);
+      results[t] = ClampProbability(product);
+    } else {
+      statuses[t] = status;
+    }
+  });
+
+  // First failing target (in target order) wins, matching a serial loop
+  // of per-target solves.
+  for (ObjectId t = 0; t < n; ++t) {
+    SKYPREF_RETURN_IF_ERROR(statuses[t]);
+    local.subsets_visited += visited[t];
+  }
+  if (stats != nullptr) *stats = local;
+  return results;
 }
 
 namespace {

@@ -1,21 +1,24 @@
 #include "src/core/partition.h"
 
-#include <unordered_map>
-
-#include "src/util/hash.h"
-#include "src/util/union_find.h"
-
 namespace skypref {
 
 std::vector<std::vector<ObjectId>> PartitionCandidates(
     const Dataset& data, ObjectId target,
     std::span<const ObjectId> candidates) {
-  UnionFind sets(candidates.size());
+  PartitionWorkspace workspace;
+  return PartitionCandidates(data, target, candidates, workspace);
+}
+
+std::vector<std::vector<ObjectId>> PartitionCandidates(
+    const Dataset& data, ObjectId target, std::span<const ObjectId> candidates,
+    PartitionWorkspace& workspace) {
+  UnionFind& sets = workspace.sets;
+  sets.Reset(candidates.size());
 
   // First candidate position seen per shared (dim, value); later users of
   // the same value are unioned with it.
-  std::unordered_map<std::pair<DimensionId, ValueId>, std::size_t, PairHash>
-      first_user;
+  auto& first_user = workspace.first_user;
+  first_user.clear();
   for (std::size_t pos = 0; pos < candidates.size(); ++pos) {
     for (DimensionId j = 0; j < data.dimensions(); ++j) {
       ValueId v = data.value(candidates[pos], j);
@@ -26,8 +29,8 @@ std::vector<std::vector<ObjectId>> PartitionCandidates(
   }
 
   std::vector<std::vector<ObjectId>> groups;
-  std::vector<std::size_t> group_of(candidates.size(),
-                                    static_cast<std::size_t>(-1));
+  std::vector<std::size_t>& group_of = workspace.group_of;
+  group_of.assign(candidates.size(), static_cast<std::size_t>(-1));
   for (std::size_t pos = 0; pos < candidates.size(); ++pos) {
     std::size_t root = sets.Find(pos);
     if (group_of[root] == static_cast<std::size_t>(-1)) {

@@ -19,18 +19,38 @@
 /// with value != target's value on that dimension.
 
 #include <span>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/model/dataset.h"
 #include "src/model/types.h"
+#include "src/util/hash.h"
+#include "src/util/union_find.h"
 
 namespace skypref {
+
+/// Reusable scratch state for PartitionCandidates. Callers partitioning
+/// for many targets in a row (the batch all-objects solver) keep one
+/// workspace per worker so the hash table's buckets and the union-find
+/// arrays are recycled instead of reallocated per target.
+struct PartitionWorkspace {
+  UnionFind sets{0};
+  std::unordered_map<std::pair<DimensionId, ValueId>, std::size_t, PairHash>
+      first_user;
+  std::vector<std::size_t> group_of;
+};
 
 /// Groups candidates into the finest partition satisfying Theorem 4.
 /// Groups preserve input order internally and are ordered by their first
 /// member.
 std::vector<std::vector<ObjectId>> PartitionCandidates(
     const Dataset& data, ObjectId target, std::span<const ObjectId> candidates);
+
+/// Same partition, reusing \p workspace across calls.
+std::vector<std::vector<ObjectId>> PartitionCandidates(
+    const Dataset& data, ObjectId target, std::span<const ObjectId> candidates,
+    PartitionWorkspace& workspace);
 
 }  // namespace skypref
 

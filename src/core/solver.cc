@@ -47,8 +47,10 @@ Result<double> SkylineSolver::Exact(ObjectId target,
     std::vector<std::vector<ObjectId>> groups =
         PartitionCandidates(*data_, target, candidates);
     local.groups = groups.size();
+    local.group_sizes.reserve(groups.size());
     for (const auto& group : groups) {
       local.largest_group = std::max(local.largest_group, group.size());
+      local.group_sizes.push_back(group.size());
       ExactStats exact_stats;
       SKYPREF_ASSIGN_OR_RETURN(
           double group_prob,
@@ -62,6 +64,7 @@ Result<double> SkylineSolver::Exact(ObjectId target,
     local.after_absorption = candidates.size();
     local.groups = 1;
     local.largest_group = candidates.size();
+    local.group_sizes.assign(1, candidates.size());
     ExactStats exact_stats;
     SKYPREF_ASSIGN_OR_RETURN(
         result, ExactSkylineProbability(*data_, target, candidates, oracle,
@@ -87,6 +90,7 @@ Result<double> SkylineSolver::MonteCarlo(ObjectId target,
     local.after_absorption = candidates.size();
     local.groups = 1;
     local.largest_group = candidates.size();
+    local.group_sizes.assign(1, candidates.size());
     SKYPREF_ASSIGN_OR_RETURN(
         MonteCarloResult mc,
         MonteCarloSkylineProbability(*data_, target, candidates, *model_,
@@ -107,8 +111,10 @@ Result<double> SkylineSolver::MonteCarlo(ObjectId target,
   // Singleton groups are exact for free: Pr(no dominator) = 1 - Pr(e).
   std::vector<const std::vector<ObjectId>*> sampled_groups;
   double result = 1.0;
+  local.group_sizes.reserve(groups.size());
   for (const auto& group : groups) {
     local.largest_group = std::max(local.largest_group, group.size());
+    local.group_sizes.push_back(group.size());
     if (group.size() == 1) {
       result *= 1.0 - DominanceProbability(*data_, group[0], target, *model_);
     } else {
@@ -157,15 +163,23 @@ Result<double> SkylineSolver::Independent(ObjectId target) const {
 
 Result<double> ExpectedSkylineCardinality(const Dataset& data,
                                           const PreferenceModel& model,
+                                          ThreadPool& pool,
                                           const SolverOptions& options) {
-  SKYPREF_ASSIGN_OR_RETURN(SkylineSolver solver,
-                           SkylineSolver::Create(data, model));
+  SKYPREF_ASSIGN_OR_RETURN(
+      std::vector<double> skylines,
+      BatchExactSkylineProbabilities(data, model, pool, options));
+  // Plain left-to-right sum in target order: the legacy overload summed the
+  // per-target results the same way, so the total stays bit-identical.
   double total = 0.0;
-  for (ObjectId target = 0; target < data.size(); ++target) {
-    SKYPREF_ASSIGN_OR_RETURN(double sky, solver.Exact(target, options));
-    total += sky;
-  }
+  for (double sky : skylines) total += sky;
   return total;
+}
+
+Result<double> ExpectedSkylineCardinality(const Dataset& data,
+                                          const PreferenceModel& model,
+                                          const SolverOptions& options) {
+  ThreadPool pool(0);  // inline execution, no worker threads
+  return ExpectedSkylineCardinality(data, model, pool, options);
 }
 
 Result<Rational> ExactSkylineProbabilityRational(

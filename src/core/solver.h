@@ -28,6 +28,7 @@
 #include "src/model/types.h"
 #include "src/util/rational.h"
 #include "src/util/status.h"
+#include "src/util/thread_pool.h"
 
 namespace skypref {
 
@@ -44,6 +45,9 @@ struct SolveStats {
   std::size_t after_absorption = 0;   ///< == candidates when preprocess off
   std::size_t groups = 0;             ///< 1 when preprocess off
   std::size_t largest_group = 0;
+  /// Size of every independence group, in partition order; drives the
+  /// longest-first scheduling diagnostics of the parallel solvers.
+  std::vector<std::size_t> group_sizes;
   std::uint64_t subsets_visited = 0;  ///< exact solves
   std::uint64_t samples_drawn = 0;    ///< Monte-Carlo solves
   std::uint64_t pair_draws = 0;       ///< Monte-Carlo solves
@@ -80,9 +84,50 @@ class SkylineSolver {
   const PreferenceModel* model_;
 };
 
+/// Diagnostics of one batch all-objects solve.
+struct BatchExactStats {
+  std::size_t targets = 0;
+  std::size_t absorbed = 0;       ///< candidates dropped, summed over targets
+  std::size_t groups = 0;         ///< independence groups, summed over targets
+  std::size_t largest_group = 0;  ///< across all targets
+  /// Distinct (dim, value-pair) preference probabilities computed once
+  /// and shared by every target's flattened pair table.
+  std::size_t distinct_pair_probs = 0;
+  std::uint64_t subsets_visited = 0;  ///< summed over all exact solves
+};
+
+/// Exact sky(target) for EVERY object of the dataset (the all-objects
+/// query shape of batch skyline-probability evaluation). Shares the
+/// preprocessing across targets instead of redoing it per solve:
+///
+///  * the (dim, value) -> objects posting lists driving absorption are
+///    built once (the dominance-candidate adjacency);
+///  * the distinct preference probabilities Pr(a <= b) feeding the
+///    flattened pair tables are computed once and reused by every
+///    target whose table needs them;
+///  * per-target solves are scheduled across \p pool largest-work-first
+///    so a heavy target cannot serialize the tail.
+///
+/// Element i of the result is bit-identical to SkylineSolver::Exact(i)
+/// with the same options, for every thread count of \p pool.
+/// options.exact.max_subsets bounds each group solve as usual, but
+/// options.exact.time_limit_seconds is converted into ONE deadline shared
+/// by the whole batch.
+Result<std::vector<double>> BatchExactSkylineProbabilities(
+    const Dataset& data, const PreferenceModel& model, ThreadPool& pool,
+    const SolverOptions& options = {}, BatchExactStats* stats = nullptr);
+
 /// Sum of every object's exact skyline probability — the expected number
 /// of skyline objects under the uncertain preferences (by linearity of
-/// expectation). One Det+ solve per object; \p options bounds each.
+/// expectation). Runs BatchExactSkylineProbabilities over \p pool (see
+/// above for budget/deadline semantics).
+Result<double> ExpectedSkylineCardinality(const Dataset& data,
+                                          const PreferenceModel& model,
+                                          ThreadPool& pool,
+                                          const SolverOptions& options = {});
+
+/// Single-threaded convenience overload (an inline 0-thread pool);
+/// bit-identical to the parallel overload at any thread count.
 Result<double> ExpectedSkylineCardinality(const Dataset& data,
                                           const PreferenceModel& model,
                                           const SolverOptions& options = {});

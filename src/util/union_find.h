@@ -23,6 +23,14 @@ class UnionFind {
     std::iota(parent_.begin(), parent_.end(), std::size_t{0});
   }
 
+  /// Re-initializes to \p count singleton sets, reusing capacity.
+  void Reset(std::size_t count) {
+    parent_.resize(count);
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+    size_.assign(count, 1);
+    components_ = count;
+  }
+
   /// Representative of x's set.
   std::size_t Find(std::size_t x) {
     while (parent_[x] != x) {

@@ -1,0 +1,111 @@
+/// BatchExactSkylineProbabilities: the all-objects exact solver with
+/// shared preprocessing. Contract under test — element i is bit-identical
+/// to SkylineSolver::Exact(i) with the same options, for every thread
+/// count of the pool, and ExpectedSkylineCardinality is its plain sum.
+
+#include <gtest/gtest.h>
+
+#include "src/core/parallel.h"
+#include "src/core/solver.h"
+#include "test_util.h"
+
+namespace skypref {
+namespace {
+
+using skypref::testing::Example1Dataset;
+using skypref::testing::RandomSmallDataset;
+
+TEST(BatchExactTest, MatchesPerTargetSolverBitwise) {
+  Dataset data = RandomSmallDataset(61, 18, 3, 4);
+  TablePreferenceModel model;
+  auto solver = SkylineSolver::Create(data, model).value();
+  ThreadPool pool(4);
+  BatchExactStats stats;
+  auto batch =
+      BatchExactSkylineProbabilities(data, model, pool, {}, &stats).value();
+  ASSERT_EQ(batch.size(), data.size());
+  std::uint64_t serial_visited = 0;
+  for (ObjectId target = 0; target < data.size(); ++target) {
+    SolveStats solve_stats;
+    double serial = solver.Exact(target, {}, &solve_stats).value();
+    EXPECT_EQ(batch[target], serial) << "target " << target;
+    serial_visited += solve_stats.subsets_visited;
+  }
+  EXPECT_EQ(stats.targets, data.size());
+  EXPECT_EQ(stats.subsets_visited, serial_visited);
+  EXPECT_GT(stats.distinct_pair_probs, 0u);
+}
+
+TEST(BatchExactTest, ThreadCountInvariance) {
+  Dataset data = RandomSmallDataset(67, 16, 2, 5);
+  TablePreferenceModel model;
+  ThreadPool pool0(0), pool2(2), pool8(8);
+  auto a = BatchExactSkylineProbabilities(data, model, pool0).value();
+  auto b = BatchExactSkylineProbabilities(data, model, pool2).value();
+  auto c = BatchExactSkylineProbabilities(data, model, pool8).value();
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, c);
+}
+
+TEST(BatchExactTest, NoPreprocessMatchesPlainDet) {
+  Dataset data = RandomSmallDataset(71, 12, 3, 3);
+  TablePreferenceModel model;
+  auto solver = SkylineSolver::Create(data, model).value();
+  ThreadPool pool(2);
+  SolverOptions options;
+  options.preprocess = false;
+  auto batch =
+      BatchExactSkylineProbabilities(data, model, pool, options).value();
+  for (ObjectId target = 0; target < data.size(); ++target) {
+    EXPECT_EQ(batch[target], solver.Exact(target, options).value())
+        << "target " << target;
+  }
+}
+
+TEST(BatchExactTest, SubsetBudgetErrorPropagates) {
+  Dataset data = RandomSmallDataset(73, 12, 2, 4);
+  TablePreferenceModel model;
+  ThreadPool pool(2);
+  SolverOptions tight;
+  tight.exact.max_subsets = 1;
+  EXPECT_EQ(BatchExactSkylineProbabilities(data, model, pool, tight)
+                .status()
+                .code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(BatchExactTest, SingleObjectDatasetIsCertainSkyline) {
+  Dataset data(2);
+  data.Append({0, 0}).CheckOK();
+  TablePreferenceModel model;
+  ThreadPool pool(2);
+  auto batch = BatchExactSkylineProbabilities(data, model, pool).value();
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_DOUBLE_EQ(batch[0], 1.0);
+}
+
+TEST(BatchExactTest, AbsorptionStatsMatchExample1) {
+  // Example 1 for target O: Q1 absorbed by Q2, three singleton groups.
+  Dataset data = Example1Dataset();
+  TablePreferenceModel model;
+  ThreadPool pool(0);
+  BatchExactStats stats;
+  auto batch =
+      BatchExactSkylineProbabilities(data, model, pool, {}, &stats).value();
+  EXPECT_DOUBLE_EQ(batch[0], 3.0 / 16.0);
+  EXPECT_EQ(stats.targets, 5u);
+  EXPECT_GT(stats.absorbed, 0u);
+  EXPECT_LE(stats.largest_group, 4u);
+}
+
+TEST(ExpectedSkylineCardinalityTest, PoolOverloadMatchesLegacy) {
+  Dataset data = RandomSmallDataset(79, 14, 3, 4);
+  TablePreferenceModel model;
+  double legacy = ExpectedSkylineCardinality(data, model).value();
+  ThreadPool pool(4);
+  double pooled = ExpectedSkylineCardinality(data, model, pool).value();
+  EXPECT_EQ(pooled, legacy);
+}
+
+}  // namespace
+}  // namespace skypref

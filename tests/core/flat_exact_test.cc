@@ -1,0 +1,165 @@
+/// The flattened Det hot path against the original lookup engine.
+///
+/// FlatExactEngine's contract is strict bit-identity: it discovers the
+/// distinct (dim, value) factors in the same candidate-major order the
+/// lookup engine multiplies them, so both engines produce the same
+/// doubles (and the same subsets_visited) on every instance — not just
+/// values within an epsilon.
+
+#include "src/core/exact.h"
+
+#include <chrono>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/solver.h"
+#include "src/model/preference_generator.h"
+#include "test_util.h"
+
+namespace skypref {
+namespace {
+
+using skypref::testing::Example1Dataset;
+using skypref::testing::RandomSmallDataset;
+using skypref::testing::UnanimousHalfRational;
+
+std::vector<ObjectId> AllBut(const Dataset& data, ObjectId target) {
+  std::vector<ObjectId> ids;
+  for (ObjectId i = 0; i < data.size(); ++i) {
+    if (i != target) ids.push_back(i);
+  }
+  return ids;
+}
+
+TEST(FlatExactTest, GoldenExample1) {
+  Dataset data = Example1Dataset();
+  TablePreferenceModel model;
+  ExactOptions flat;
+  flat.engine = ExactOptions::Engine::kFlat;
+  EXPECT_DOUBLE_EQ(ExactSkylineProbability(data, 0, model, flat).value(),
+                   3.0 / 16.0);
+  ExactOptions lookup;
+  lookup.engine = ExactOptions::Engine::kLookup;
+  EXPECT_DOUBLE_EQ(ExactSkylineProbability(data, 0, model, lookup).value(),
+                   3.0 / 16.0);
+}
+
+TEST(FlatExactTest, MatchesLookupBitwiseOnRandomInstances) {
+  for (std::uint64_t seed : {3u, 7u, 19u, 23u}) {
+    Dataset data = RandomSmallDataset(seed, 12, 3, 4);
+    TablePreferenceModel model;
+    ExactOptions flat;
+    flat.engine = ExactOptions::Engine::kFlat;
+    ExactOptions lookup;
+    lookup.engine = ExactOptions::Engine::kLookup;
+    for (ObjectId target = 0; target < data.size(); ++target) {
+      ExactStats flat_stats, lookup_stats;
+      double via_flat =
+          ExactSkylineProbability(data, target, model, flat, &flat_stats)
+              .value();
+      double via_lookup =
+          ExactSkylineProbability(data, target, model, lookup, &lookup_stats)
+              .value();
+      EXPECT_EQ(via_flat, via_lookup)
+          << "seed=" << seed << " target=" << target;
+      EXPECT_EQ(flat_stats.subsets_visited, lookup_stats.subsets_visited)
+          << "seed=" << seed << " target=" << target;
+    }
+  }
+}
+
+TEST(FlatExactTest, RationalEnginesAgreeExactly) {
+  Dataset data = RandomSmallDataset(11, 8, 2, 4);
+  RationalPreferenceModel model;
+  GenerateRationalPreferences(data, 99, 8, &model).CheckOK();
+  RationalOracle oracle(model);
+  ExactOptions flat;
+  flat.engine = ExactOptions::Engine::kFlat;
+  ExactOptions lookup;
+  lookup.engine = ExactOptions::Engine::kLookup;
+  for (ObjectId target = 0; target < data.size(); ++target) {
+    std::vector<ObjectId> candidates = AllBut(data, target);
+    EXPECT_EQ(
+        ExactSkylineProbability(data, target, candidates, oracle, flat)
+            .value(),
+        ExactSkylineProbability(data, target, candidates, oracle, lookup)
+            .value())
+        << "target=" << target;
+  }
+}
+
+TEST(FlatExactTest, EmptyCandidateListIsCertainSkyline) {
+  Dataset data = Example1Dataset();
+  TablePreferenceModel model;
+  DoubleOracle oracle(model);
+  std::vector<ObjectId> empty;
+  ExactStats stats;
+  auto result = ExactSkylineProbability(data, 0, empty, oracle, {}, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result.value(), 1.0);
+  EXPECT_EQ(stats.subsets_visited, 0u);
+}
+
+TEST(FlatExactTest, SubsetBudgetTripsBothEngines) {
+  Dataset data = RandomSmallDataset(5, 10, 2, 4);
+  TablePreferenceModel model;
+  for (auto engine :
+       {ExactOptions::Engine::kFlat, ExactOptions::Engine::kLookup}) {
+    ExactOptions tight;
+    tight.engine = engine;
+    tight.max_subsets = 3;
+    EXPECT_EQ(ExactSkylineProbability(data, 0, model, tight).status().code(),
+              StatusCode::kResourceExhausted);
+  }
+}
+
+TEST(FlatExactTest, PreExpiredSharedDeadlineAborts) {
+  // The deadline is polled every 4096 visits, so the instance must be
+  // big enough to reach a poll: 14 objects = 13 candidates = 8191 visits
+  // under unanimous preferences (no zero factors to prune).
+  Dataset data = RandomSmallDataset(31, 14, 3, 4);
+  TablePreferenceModel model;
+  for (auto engine :
+       {ExactOptions::Engine::kFlat, ExactOptions::Engine::kLookup}) {
+    ExactOptions expired;
+    expired.engine = engine;
+    expired.deadline =
+        std::chrono::steady_clock::now() - std::chrono::seconds(1);
+    EXPECT_EQ(
+        ExactSkylineProbability(data, 0, model, expired).status().code(),
+        StatusCode::kResourceExhausted);
+  }
+}
+
+TEST(FlatExactTest, FlatInstanceDeduplicatesSharedPairs) {
+  // Example 1: candidates Q1..Q4 contribute values (1,1), (1,0), (2,2),
+  // (0,1) against target (0,0) — seven differing slots but only five
+  // distinct (dim, value) factors (dim0:1, dim1:1, dim0:2, dim1:2).
+  Dataset data = Example1Dataset();
+  TablePreferenceModel model;
+  DoubleOracle oracle(model);
+  std::vector<ObjectId> candidates = AllBut(data, 0);
+  internal::FlatInstance<DoubleOracle> instance =
+      internal::BuildFlatInstance(data, 0,
+                                  std::span<const ObjectId>(candidates),
+                                  oracle);
+  EXPECT_EQ(instance.candidate_count(), 4u);
+  EXPECT_EQ(instance.pair_count(), 4u);
+  EXPECT_EQ(instance.pair_ids.size(), 6u);  // Q1:2, Q2:1, Q3:2, Q4:1
+}
+
+TEST(FlatExactTest, RationalGoldenOnExample1) {
+  Dataset data = Example1Dataset();
+  RationalPreferenceModel model = UnanimousHalfRational(data);
+  RationalOracle oracle(model);
+  std::vector<ObjectId> candidates = AllBut(data, 0);
+  Rational sky =
+      ExactSkylineProbability(data, 0, candidates, oracle).value();
+  EXPECT_EQ(sky, Rational(BigInt(3), BigInt(16)));
+}
+
+}  // namespace
+}  // namespace skypref

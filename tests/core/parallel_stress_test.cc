@@ -81,6 +81,70 @@ TEST(ParallelDeterminismStressTest, ExactGroupFanOutMatchesInline) {
   }
 }
 
+TEST(ParallelDeterminismStressTest, IntraGroupEngineThreadSweep) {
+  // One 18-candidate independence group: every candidate shares dim-0
+  // value 1 against the target's 0, so the solve runs on the subtree-
+  // splitting ParallelExactEngine. Under TSan this exercises the shared
+  // budget atomics and the abort flag; determinism-wise the result must
+  // be bit-identical for every thread count and every repetition.
+  Dataset data(2);
+  data.Append({0, 0}).CheckOK();
+  for (std::uint32_t i = 0; i < 18; ++i) {
+    data.Append({1, i + 1}).CheckOK();
+  }
+  TablePreferenceModel model;
+  ThreadPool inline_pool(0);
+  auto reference = ParallelExactSkylineProbability(data, 0, model,
+                                                   inline_pool);
+  ASSERT_TRUE(reference.ok());
+  for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    for (int round = 0; round < 3; ++round) {
+      auto run = ParallelExactSkylineProbability(data, 0, model, pool);
+      ASSERT_TRUE(run.ok()) << "threads=" << threads << " round=" << round;
+      ASSERT_EQ(run.value(), reference.value())
+          << "threads=" << threads << " round=" << round;
+    }
+  }
+}
+
+TEST(ParallelDeterminismStressTest, IntraGroupEngineBudgetRace) {
+  // A budget that trips mid-solve: every thread count must agree that
+  // the solve fails (the total charged against max_subsets is the same
+  // full enumeration count regardless of interleaving).
+  Dataset data(2);
+  data.Append({0, 0}).CheckOK();
+  for (std::uint32_t i = 0; i < 18; ++i) {
+    data.Append({1, i + 1}).CheckOK();
+  }
+  TablePreferenceModel model;
+  ExactOptions tight;
+  tight.max_subsets = (1u << 17);  // half of the 2^18 - 1 subsets
+  for (std::size_t threads : {0u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(ParallelExactSkylineProbability(data, 0, model, pool, tight)
+                  .status()
+                  .code(),
+              StatusCode::kResourceExhausted)
+        << "threads=" << threads;
+  }
+}
+
+TEST(ParallelDeterminismStressTest, BatchSolverThreadSweep) {
+  Dataset data = RandomSmallDataset(59, 16, 3, 4);
+  TablePreferenceModel model;
+  ThreadPool reference_pool(0);
+  auto reference =
+      BatchExactSkylineProbabilities(data, model, reference_pool);
+  ASSERT_TRUE(reference.ok());
+  for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    auto run = BatchExactSkylineProbabilities(data, model, pool);
+    ASSERT_TRUE(run.ok()) << "threads=" << threads;
+    ASSERT_EQ(run.value(), reference.value()) << "threads=" << threads;
+  }
+}
+
 TEST(ParallelDeterminismStressTest, AllWorldsSweepAndSharedPoolReuse) {
   Dataset data = RandomSmallDataset(53, 14, 2, 4);
   HashedPreferenceModel model(11, HashedPreferenceModel::Style::kTotalUniform);
