@@ -1,15 +1,18 @@
 /// The canonical hot-path perf harness: emits BENCH_exact.json, the
 /// machine-readable perf trajectory of the exact engine.
 ///
-/// Three measurements, all at quick scale by default
+/// Four measurements, all at quick scale by default
 /// (SKYPREF_BENCH_SCALE=full enlarges them):
 ///
-///   1. flatten      — one Det solve, lookup engine vs flattened engine
-///                     on identical inputs (subsets/sec and speedup);
-///   2. intra_group  — one single-group Det+ solve across 1/2/4/8-thread
-///                     pools via ParallelExactEngine (scaling curve);
-///   3. batch        — all-objects exact solve, per-target SkylineSolver
-///                     loop vs BatchExactSkylineProbabilities.
+///   1. flatten     — one Det solve, lookup engine vs flattened engine
+///                    on identical inputs (subsets/sec and speedup);
+///   2. intra_group — one single-group Det+ solve across 1/2/4/8-thread
+///                    pools via ParallelExactEngine (scaling curve);
+///   3. batch       — all-objects exact solve, per-target SkylineSolver
+///                    loop vs BatchExactSkylineProbabilities;
+///   4. resilience  — the same Det solve with and without an armed
+///                    CancelToken + deadline (cost of cooperative
+///                    cancellation polls in the DFS hot loop).
 ///
 /// Every section cross-checks bit-identity so a perf number can never
 /// quietly come from a wrong answer. The binary is plain chrono + JSON —
@@ -30,6 +33,7 @@
 #include "src/core/parallel.h"
 #include "src/core/solver.h"
 #include "src/model/preference_model.h"
+#include "src/util/cancel.h"
 #include "src/util/check.h"
 #include "src/workload/block_zipf_generator.h"
 #include "src/workload/uniform_generator.h"
@@ -230,6 +234,60 @@ std::string BenchBatch() {
   return json.str();
 }
 
+/// Section 4: resilience overhead. The cancellation/deadline polls in
+/// the DFS hot loop are always compiled in, so the measurable cost is
+/// armed-vs-unarmed: a solve with no token and no deadline (the polls
+/// reduce to a null check every 0xfff visits) against the same solve
+/// carrying a live CancelToken and a far-future deadline (every poll
+/// does the atomic load and clock comparison). The ladder's contract is
+/// that arming costs < ~2% on a Det workload.
+std::string BenchResilience() {
+  UniformOptions gen;
+  gen.objects = FullScale() ? 25 : 21;
+  gen.dimensions = 6;
+  gen.values_per_dimension = 50;
+  gen.seed = 7;
+  Dataset data = GenerateUniform(gen).value();
+  HashedPreferenceModel model(2013,
+                              HashedPreferenceModel::Style::kTotalUniform);
+
+  ExactOptions unarmed;
+  unarmed.engine = ExactOptions::Engine::kFlat;
+  unarmed.prune_zero = false;  // fixed subset count for clean comparison
+  ExactOptions armed = unarmed;
+  armed.time_limit_seconds = 3600.0;  // never expires, always polled
+  CancelToken token;
+  armed.cancel = &token;
+
+  double unarmed_value = 0.0, armed_value = 0.0;
+  ExactStats stats;
+  const int reps = 5;
+  double unarmed_seconds = TimeBest(reps, [&] {
+    unarmed_value =
+        ExactSkylineProbability(data, 0, model, unarmed, &stats).value();
+  });
+  double armed_seconds = TimeBest(reps, [&] {
+    armed_value =
+        ExactSkylineProbability(data, 0, model, armed, &stats).value();
+  });
+  SKYPREF_CHECK(unarmed_value == armed_value);  // polls never change math
+
+  double overhead_percent =
+      100.0 * (armed_seconds - unarmed_seconds) / unarmed_seconds;
+  std::ostringstream json;
+  json << "  \"resilience_overhead\": {\n"
+       << "    \"objects\": " << gen.objects << ",\n"
+       << "    \"subsets\": " << stats.subsets_visited << ",\n"
+       << "    \"unarmed_seconds\": " << FormatDouble(unarmed_seconds)
+       << ",\n"
+       << "    \"armed_seconds\": " << FormatDouble(armed_seconds) << ",\n"
+       << "    \"overhead_percent\": " << FormatDouble(overhead_percent)
+       << ",\n"
+       << "    \"bit_identical\": true\n"
+       << "  }";
+  return json.str();
+}
+
 int Main(int argc, char** argv) {
   const std::string path = argc > 1 ? argv[1] : "BENCH_exact.json";
   std::ostringstream json;
@@ -243,7 +301,9 @@ int Main(int argc, char** argv) {
   std::fprintf(stderr, "bench_hotpath: intra-group scaling...\n");
   json << BenchIntraGroup() << ",\n";
   std::fprintf(stderr, "bench_hotpath: batch all-objects...\n");
-  json << BenchBatch() << "\n}\n";
+  json << BenchBatch() << ",\n";
+  std::fprintf(stderr, "bench_hotpath: resilience overhead...\n");
+  json << BenchResilience() << "\n}\n";
 
   std::ofstream out(path);
   if (!out) {

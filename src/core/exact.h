@@ -42,7 +42,15 @@
 ///    exponential by design). Callers that fan one query out over several
 ///    solves (Det+ groups, batch all-objects) pass one precomputed shared
 ///    deadline so the total wall time honors the limit once, not once per
-///    solve.
+///    solve;
+///  * cooperative cancellation: a CancelToken polled at the same bounded
+///    cadence as the deadline (src/util/cancel.h), so a query can be
+///    abandoned mid-DFS from another thread. A token cancelled before the
+///    solve starts yields Status::Cancelled deterministically;
+///  * a deterministic failpoint in the visit-charging path ("exact.dfs",
+///    src/util/failpoint.h, compiled out unless SKYPREF_FAILPOINTS) so
+///    tests can force the ResourceExhausted degradation path on the N-th
+///    visit of either engine.
 
 #include <algorithm>
 #include <chrono>
@@ -57,6 +65,8 @@
 #include "src/model/dataset.h"
 #include "src/model/preference_model.h"
 #include "src/model/types.h"
+#include "src/util/cancel.h"
+#include "src/util/failpoint.h"
 #include "src/util/hash.h"
 #include "src/util/status.h"
 
@@ -74,9 +84,16 @@ struct ExactOptions {
   /// A precomputed absolute deadline shared by several solves of one
   /// logical query; when set it takes precedence over
   /// time_limit_seconds. Multi-solve drivers (Det+ groups, the batch
-  /// all-objects solver) set this once up front so the whole query — not
-  /// each solve independently — observes the time limit.
-  std::optional<std::chrono::steady_clock::time_point> deadline;
+  /// all-objects solver, the resilient ladder) set this once up front so
+  /// the whole query — not each solve independently — observes the time
+  /// limit.
+  Deadline deadline;
+
+  /// Optional cooperative cancellation; polled at the same bounded
+  /// cadence as the deadline. Observing a cancelled token returns
+  /// Status::Cancelled. Not owned; must outlive the solve. nullptr =
+  /// not cancellable.
+  const CancelToken* cancel = nullptr;
 
   /// Skip subtrees whose joint probability is exactly zero.
   bool prune_zero = true;
@@ -121,15 +138,9 @@ namespace internal {
 
 /// Resolves the effective deadline of one solve: an explicit shared
 /// deadline wins, otherwise time_limit_seconds counts from now.
-inline std::optional<std::chrono::steady_clock::time_point> ResolveDeadline(
-    const ExactOptions& options) {
+inline Deadline ResolveDeadline(const ExactOptions& options) {
   if (options.deadline.has_value()) return options.deadline;
-  if (options.time_limit_seconds > 0.0) {
-    return std::chrono::steady_clock::now() +
-           std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-               std::chrono::duration<double>(options.time_limit_seconds));
-  }
-  return std::nullopt;
+  return Deadline::After(options.time_limit_seconds);
 }
 
 inline Status SubsetBudgetExhausted(std::uint64_t max_subsets) {
@@ -220,6 +231,14 @@ class FlatExactEngine {
   }
 
   Result<Num> Run(ExactStats* stats) {
+    if (stats != nullptr) stats->subsets_visited = 0;
+    // Solve-boundary cancel check: a token cancelled before the solve
+    // starts is observed regardless of instance size (the in-loop poll
+    // runs only every 4096 visits).
+    if (options_.cancel != nullptr && options_.cancel->cancelled()) {
+      status_ = CancelledStatus();
+      return status_;
+    }
     status_ = Status::OK();
     accumulator_ = Accumulator<Num>();
     accumulator_.Add(Num(1));  // the k = 0 term of Eq. 4
@@ -257,21 +276,30 @@ class FlatExactEngine {
 
   bool ChargeVisit() {
     ++visited_;
+    if (SKYPREF_FAILPOINT("exact.dfs")) {
+      status_ = Status::ResourceExhausted("failpoint exact.dfs");
+      return false;
+    }
     if (options_.max_subsets != 0 && visited_ > options_.max_subsets) {
       status_ = SubsetBudgetExhausted(options_.max_subsets);
       return false;
     }
-    if (deadline_.has_value() && (visited_ & 0xfff) == 0 &&
-        std::chrono::steady_clock::now() > *deadline_) {
-      status_ = TimeLimitExhausted();
-      return false;
+    if ((visited_ & 0xfff) == 0) {
+      if (options_.cancel != nullptr && options_.cancel->cancelled()) {
+        status_ = CancelledStatus();
+        return false;
+      }
+      if (deadline_.Expired()) {
+        status_ = TimeLimitExhausted();
+        return false;
+      }
     }
     return true;
   }
 
   const FlatInstance<Oracle>* instance_;
   ExactOptions options_;
-  std::optional<std::chrono::steady_clock::time_point> deadline_;
+  Deadline deadline_;
 
   std::vector<std::uint32_t> counts_;  // pair id -> multiplicity in I
   Accumulator<Num> accumulator_;
@@ -308,6 +336,14 @@ class LookupExactEngine {
   }
 
   Result<Num> Run(ExactStats* stats) {
+    if (stats != nullptr) stats->subsets_visited = 0;
+    // Solve-boundary cancel check: a token cancelled before the solve
+    // starts is observed regardless of instance size (the in-loop poll
+    // runs only every 4096 visits).
+    if (options_.cancel != nullptr && options_.cancel->cancelled()) {
+      status_ = CancelledStatus();
+      return status_;
+    }
     status_ = Status::OK();
     accumulator_ = Accumulator<Num>();
     accumulator_.Add(Num(1));  // the k = 0 term of Eq. 4
@@ -343,14 +379,23 @@ class LookupExactEngine {
 
   bool ChargeVisit() {
     ++visited_;
+    if (SKYPREF_FAILPOINT("exact.dfs")) {
+      status_ = Status::ResourceExhausted("failpoint exact.dfs");
+      return false;
+    }
     if (options_.max_subsets != 0 && visited_ > options_.max_subsets) {
       status_ = SubsetBudgetExhausted(options_.max_subsets);
       return false;
     }
-    if (deadline_.has_value() && (visited_ & 0xfff) == 0 &&
-        std::chrono::steady_clock::now() > *deadline_) {
-      status_ = TimeLimitExhausted();
-      return false;
+    if ((visited_ & 0xfff) == 0) {
+      if (options_.cancel != nullptr && options_.cancel->cancelled()) {
+        status_ = CancelledStatus();
+        return false;
+      }
+      if (deadline_.Expired()) {
+        status_ = TimeLimitExhausted();
+        return false;
+      }
     }
     return true;
   }
@@ -360,7 +405,7 @@ class LookupExactEngine {
   std::span<const ObjectId> candidates_;
   const Oracle& oracle_;
   ExactOptions options_;
-  std::optional<std::chrono::steady_clock::time_point> deadline_;
+  Deadline deadline_;
 
   std::vector<std::vector<std::uint32_t>> counts_;  // per dim: value -> count
   Accumulator<Num> accumulator_;

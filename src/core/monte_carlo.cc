@@ -7,6 +7,7 @@
 
 #include "src/core/dominance.h"
 #include "src/util/check.h"
+#include "src/util/failpoint.h"
 #include "src/util/hash.h"
 #include "src/util/random.h"
 
@@ -16,6 +17,13 @@ std::uint64_t HoeffdingSampleSize(double epsilon, double delta) {
   if (epsilon <= 0.0 || delta <= 0.0 || delta >= 1.0) return 0;
   double m = std::log(2.0 / delta) / (2.0 * epsilon * epsilon);
   return static_cast<std::uint64_t>(std::ceil(m));
+}
+
+double HoeffdingEpsilon(std::uint64_t samples, double delta) {
+  if (samples == 0 || delta <= 0.0 || delta >= 1.0) return 1.0;
+  double eps = std::sqrt(std::log(2.0 / delta) /
+                         (2.0 * static_cast<double>(samples)));
+  return eps < 1.0 ? eps : 1.0;
 }
 
 namespace {
@@ -148,17 +156,43 @@ Result<MonteCarloResult> MonteCarloSkylineProbability(
     for (std::size_t i = 0; i < keyed.size(); ++i) ordered[i] = keyed[i].second;
   }
 
+  // The sampler previously had no time limit at all — one adversarial
+  // group could pin a worker for the full Hoeffding count. One deadline,
+  // resolved like the exact solver's, now bounds the loop; cancellation
+  // is polled at the same cadence.
+  Deadline deadline = options.deadline.has_value()
+                          ? options.deadline
+                          : Deadline::After(options.time_limit_seconds);
+  if (options.cancel != nullptr && options.cancel->cancelled()) {
+    return CancelledStatus();
+  }
+
   WorldSampler sampler(data, target, ordered, model);
   Rng rng(options.seed);
   MonteCarloResult result;
-  result.samples = samples;
+  result.requested_samples = samples;
+  std::uint64_t drawn = 0;
   for (std::uint64_t h = 0; h < samples; ++h) {
     if (sampler.SampleWorld(rng, options.lazy, &result.pair_draws)) {
       ++result.skyline_worlds;
     }
+    drawn = h + 1;
+    // Poll every 64 worlds, after sampling, so a truncated run still
+    // carries at least min(64, samples) worlds and the estimate is
+    // always well-defined.
+    if ((drawn & 63) == 0 && drawn < samples) {
+      if (options.cancel != nullptr && options.cancel->cancelled()) {
+        return CancelledStatus();
+      }
+      if (deadline.Expired() || SKYPREF_FAILPOINT("sampler.world")) {
+        result.truncated = true;
+        break;
+      }
+    }
   }
+  result.samples = drawn;
   result.estimate = static_cast<double>(result.skyline_worlds) /
-                    static_cast<double>(samples);
+                    static_cast<double>(drawn);
   SKYPREF_DCHECK(result.skyline_worlds <= result.samples);
   SKYPREF_DCHECK_PROB(result.estimate);
   return result;

@@ -18,6 +18,11 @@
 ///  * lazy sampling with a sorted checking sequence: candidates are tested
 ///    in descending order of Pr(Qi < O) so that non-skyline worlds are
 ///    refuted after sampling as few preferences as possible.
+///
+/// The sampling loop is interruptible: a deadline (time_limit_seconds or
+/// a shared MonteCarloOptions::deadline) returns the PARTIAL result with
+/// its achieved sample count — an estimate with a wider Hoeffding bar,
+/// never a lost query — and a CancelToken aborts with Status::Cancelled.
 
 #include <cstdint>
 #include <span>
@@ -26,6 +31,7 @@
 #include "src/model/dataset.h"
 #include "src/model/preference_model.h"
 #include "src/model/types.h"
+#include "src/util/cancel.h"
 #include "src/util/status.h"
 
 namespace skypref {
@@ -48,23 +54,55 @@ struct MonteCarloOptions {
   /// dominating candidate. Disabled (= sample every relevant pair up
   /// front) only by the ablation bench.
   bool lazy = true;
+
+  /// Stop sampling after this much wall time (0 = unlimited). Unlike the
+  /// exact solver's limit, expiry is NOT an error: the loop returns the
+  /// partial MonteCarloResult with its achieved sample count and
+  /// truncated = true, so callers widen the error bar (HoeffdingEpsilon)
+  /// instead of losing the estimate. Checked every 64 worlds, so at
+  /// least min(64, samples) worlds are always drawn.
+  double time_limit_seconds = 0.0;
+
+  /// A precomputed absolute deadline shared by several solves of one
+  /// logical query (mirroring ExactOptions::deadline); when set it takes
+  /// precedence over time_limit_seconds.
+  Deadline deadline;
+
+  /// Optional cooperative cancellation, polled at the same cadence as
+  /// the deadline. Unlike deadline expiry, observing a cancelled token
+  /// returns Status::Cancelled — the answer is no longer wanted. Not
+  /// owned; nullptr = not cancellable.
+  const CancelToken* cancel = nullptr;
 };
 
 struct MonteCarloResult {
   /// Y / m.
   double estimate = 0.0;
-  /// Worlds sampled (m).
+  /// Worlds actually sampled (m). Equals requested_samples unless the
+  /// deadline truncated the loop.
   std::uint64_t samples = 0;
+  /// Worlds the caller asked for (explicit or Hoeffding-derived).
+  std::uint64_t requested_samples = 0;
   /// Worlds in which the target was a skyline point (Y).
   std::uint64_t skyline_worlds = 0;
   /// Total preference-pair draws across all worlds; the lazy strategy's
   /// win shows up here.
   std::uint64_t pair_draws = 0;
+  /// True when the deadline stopped the loop before requested_samples;
+  /// the estimate is still valid, at the wider HoeffdingEpsilon(samples,
+  /// delta) error.
+  bool truncated = false;
 };
 
 /// Sample count demanded by Hoeffding for (epsilon, delta):
 /// ceil(ln(2/delta) / (2 epsilon^2)).
 std::uint64_t HoeffdingSampleSize(double epsilon, double delta);
+
+/// The inverse: the epsilon that \p samples worlds certify at confidence
+/// 1 - delta, sqrt(ln(2/delta) / (2 m)) — how a truncated result's error
+/// bar widens. Returns 1.0 (the vacuous bound) when samples == 0 or
+/// delta is not in (0, 1).
+double HoeffdingEpsilon(std::uint64_t samples, double delta);
 
 /// Estimates sky(target) against the given candidate set.
 Result<MonteCarloResult> MonteCarloSkylineProbability(

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <numeric>
 #include <span>
@@ -271,6 +272,19 @@ Result<std::vector<double>> BatchExactSkylineProbabilities(
   std::vector<std::uint64_t> visited(n, 0);
   pool.ParallelFor(n, [&](std::size_t k) {
     const ObjectId t = order[k];
+    // The batch-scheduler failpoint and the cancel poll sit at the
+    // per-target dispatch boundary: one target fails (or the whole
+    // query stops) without touching any other target's solve.
+    if (SKYPREF_FAILPOINT("batch.target")) {
+      statuses[t] = Status::ResourceExhausted("failpoint batch.target");
+      results[t] = std::numeric_limits<double>::quiet_NaN();
+      return;
+    }
+    if (exact.cancel != nullptr && exact.cancel->cancelled()) {
+      statuses[t] = CancelledStatus();
+      results[t] = std::numeric_limits<double>::quiet_NaN();
+      return;
+    }
     double product = 1.0;
     Status status;
     for (const auto& group : groups[t]) {
@@ -291,13 +305,18 @@ Result<std::vector<double>> BatchExactSkylineProbabilities(
       results[t] = ClampProbability(product);
     } else {
       statuses[t] = status;
+      results[t] = std::numeric_limits<double>::quiet_NaN();
     }
   });
 
-  // First failing target (in target order) wins, matching a serial loop
-  // of per-target solves.
+  // A failed target no longer aborts the batch: its slot carries NaN and
+  // its Status lands in stats->target_status, while every target that
+  // finished keeps its bit-identical value. Only cancellation — the
+  // caller abandoning the query — fails the whole call.
+  local.target_status = statuses;
   for (ObjectId t = 0; t < n; ++t) {
-    SKYPREF_RETURN_IF_ERROR(statuses[t]);
+    if (statuses[t].code() == StatusCode::kCancelled) return statuses[t];
+    if (!statuses[t].ok()) ++local.failed_targets;
     local.subsets_visited += visited[t];
   }
   if (stats != nullptr) *stats = local;
@@ -337,10 +356,20 @@ Result<MonteCarloResult> ParallelMonteCarloSkylineProbability(
   const std::uint32_t chunks = static_cast<std::uint32_t>(
       std::min<std::uint64_t>(parallel.sample_chunks, samples));
 
+  // ONE deadline for the whole estimate, shared by every chunk
+  // (mirroring the exact solvers). With a deadline the achieved sample
+  // count depends on wall time, so truncated estimates are reproducible
+  // in distribution but not bit-identical — the untruncated path keeps
+  // the bit-identity contract.
+  MonteCarloOptions shared = options;
+  if (!shared.deadline.has_value()) {
+    shared.deadline = Deadline::After(options.time_limit_seconds);
+  }
+
   std::vector<MonteCarloResult> partial(chunks);
   std::vector<Status> statuses(chunks);
   pool.ParallelFor(chunks, [&](std::size_t c) {
-    MonteCarloOptions chunk_options = options;
+    MonteCarloOptions chunk_options = shared;
     chunk_options.samples =
         ChunkSize(samples, chunks, static_cast<std::uint32_t>(c));
     // Seed from the chunk index, not the thread: bit-reproducible for
@@ -357,14 +386,17 @@ Result<MonteCarloResult> ParallelMonteCarloSkylineProbability(
   });
 
   MonteCarloResult combined;
+  combined.requested_samples = samples;
   for (std::uint32_t c = 0; c < chunks; ++c) {
     SKYPREF_RETURN_IF_ERROR(statuses[c]);
     SKYPREF_DCHECK(partial[c].skyline_worlds <= partial[c].samples);
     combined.samples += partial[c].samples;
     combined.skyline_worlds += partial[c].skyline_worlds;
     combined.pair_draws += partial[c].pair_draws;
+    combined.truncated = combined.truncated || partial[c].truncated;
   }
-  SKYPREF_DCHECK(combined.samples == samples);
+  SKYPREF_DCHECK(combined.samples <= samples);
+  SKYPREF_DCHECK(combined.truncated || combined.samples == samples);
   combined.estimate = static_cast<double>(combined.skyline_worlds) /
                       static_cast<double>(combined.samples);
   SKYPREF_DCHECK_PROB(combined.estimate);

@@ -34,6 +34,17 @@
 /// front (ExactOptions::deadline) and passes it to every group solve, so
 /// the total wall time honors options.time_limit_seconds once — not once
 /// per group, which previously allowed groups x limit overshoot.
+///
+/// Cancellation: ExactOptions::cancel is polled at task boundaries and
+/// at the same bounded in-task cadence as the deadline. A token
+/// cancelled before the solve starts yields Status::Cancelled at every
+/// thread count (each task observes it at its boundary); a token
+/// cancelled mid-solve aborts every task still running, and the first
+/// recorded abort status — the cancel — wins the reduction.
+///
+/// Failpoints (SKYPREF_FAILPOINTS builds): "parallel.task" fires at a
+/// task boundary and aborts the engine the way an organic budget trip
+/// does; "exact.dfs" fires inside the serial per-group engines.
 
 #include <atomic>
 #include <cstdint>
@@ -138,6 +149,12 @@ class ParallelExactEngine {
   /// Phase 1; returns false when expansion already exhausted the budget
   /// or deadline (Reduce reports the error; tasks are then empty).
   bool BuildTasks() {
+    // Solve-boundary cancel check (the expansion's own poll runs only
+    // every 256 visits).
+    if (options_.cancel != nullptr && options_.cancel->cancelled()) {
+      build_status_ = CancelledStatus();
+      return false;
+    }
     build_status_ = Status::OK();
     prefix_acc_ = Accumulator<Num>();
     prefix_acc_.Add(Num(1));  // the k = 0 term of Eq. 4
@@ -203,10 +220,25 @@ class ParallelExactEngine {
   std::size_t task_count() const { return tasks_.size(); }
 
   /// Phase 2: runs subtree task \p k to completion (or until the shared
-  /// budget/deadline trips). Thread-compatible across distinct k.
+  /// budget/deadline trips, or cancellation is observed). Thread-
+  /// compatible across distinct k. Cancellation is checked here, at the
+  /// task boundary, so a pre-cancelled token aborts every task
+  /// identically at any thread count.
   void RunTask(std::size_t k) {
     const Task& task = tasks_[k];
     TaskContext ctx;
+    if (SKYPREF_FAILPOINT("parallel.task")) {
+      Status failed = Status::ResourceExhausted("failpoint parallel.task");
+      task_statuses_[k] = failed;
+      RecordAbort(failed);
+      return;
+    }
+    if (options_.cancel != nullptr && options_.cancel->cancelled()) {
+      Status cancelled = CancelledStatus();
+      task_statuses_[k] = cancelled;
+      RecordAbort(cancelled);
+      return;
+    }
     if (Aborted()) {
       task_statuses_[k] = AbortStatus();
       return;
@@ -294,8 +326,12 @@ class ParallelExactEngine {
       ctx.status = AbortStatus();
       return false;
     }
-    if (deadline_.has_value() &&
-        std::chrono::steady_clock::now() > *deadline_) {
+    if (options_.cancel != nullptr && options_.cancel->cancelled()) {
+      ctx.status = CancelledStatus();
+      RecordAbort(ctx.status);
+      return false;
+    }
+    if (deadline_.Expired()) {
       ctx.status = TimeLimitExhausted();
       RecordAbort(ctx.status);
       return false;
@@ -323,10 +359,15 @@ class ParallelExactEngine {
       build_status_ = SubsetBudgetExhausted(options_.max_subsets);
       return false;
     }
-    if (deadline_.has_value() && (expansion_visited_ & 0xff) == 0 &&
-        std::chrono::steady_clock::now() > *deadline_) {
-      build_status_ = TimeLimitExhausted();
-      return false;
+    if ((expansion_visited_ & 0xff) == 0) {
+      if (options_.cancel != nullptr && options_.cancel->cancelled()) {
+        build_status_ = CancelledStatus();
+        return false;
+      }
+      if (deadline_.Expired()) {
+        build_status_ = TimeLimitExhausted();
+        return false;
+      }
     }
     return true;
   }
@@ -350,7 +391,7 @@ class ParallelExactEngine {
 
   const FlatInstance<Oracle>* instance_;
   ExactOptions options_;
-  std::optional<std::chrono::steady_clock::time_point> deadline_;
+  Deadline deadline_;
   std::uint32_t target_tasks_;
 
   // Phase 1 state (serial).

@@ -165,9 +165,18 @@ Result<double> ExpectedSkylineCardinality(const Dataset& data,
                                           const PreferenceModel& model,
                                           ThreadPool& pool,
                                           const SolverOptions& options) {
+  BatchExactStats batch_stats;
   SKYPREF_ASSIGN_OR_RETURN(
       std::vector<double> skylines,
-      BatchExactSkylineProbabilities(data, model, pool, options));
+      BatchExactSkylineProbabilities(data, model, pool, options,
+                                     &batch_stats));
+  // The cardinality is a sum over ALL targets, so the batch's per-target
+  // salvage does not apply here: the first failed target's status (in
+  // target order) fails the whole query, matching the pre-salvage
+  // behavior.
+  for (const Status& status : batch_stats.target_status) {
+    SKYPREF_RETURN_IF_ERROR(status);
+  }
   // Plain left-to-right sum in target order: the legacy overload summed the
   // per-target results the same way, so the total stays bit-identical.
   double total = 0.0;

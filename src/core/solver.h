@@ -94,6 +94,14 @@ struct BatchExactStats {
   /// and shared by every target's flattened pair table.
   std::size_t distinct_pair_probs = 0;
   std::uint64_t subsets_visited = 0;  ///< summed over all exact solves
+  /// Per-target outcome, indexed by ObjectId. A target that exhausted
+  /// its budget carries its ResourceExhausted here (and NaN in the
+  /// result vector) while every other target keeps its exact value —
+  /// one heavy target no longer aborts the whole batch. Size targets
+  /// after a successful call.
+  std::vector<Status> target_status;
+  /// Number of non-OK entries in target_status.
+  std::size_t failed_targets = 0;
 };
 
 /// Exact sky(target) for EVERY object of the dataset (the all-objects
@@ -113,6 +121,14 @@ struct BatchExactStats {
 /// options.exact.max_subsets bounds each group solve as usual, but
 /// options.exact.time_limit_seconds is converted into ONE deadline shared
 /// by the whole batch.
+///
+/// Degradation contract: a target whose solve exhausts its budget or
+/// deadline does NOT abort the batch. Its result slot is NaN, its Status
+/// is recorded in BatchExactStats::target_status, and every other target
+/// still receives its bit-identical exact value (salvage the failures
+/// with the resilient ladder, src/core/resilient.h). The call itself
+/// fails only on invalid input or when options.exact.cancel is tripped —
+/// cancellation abandons the whole query with Status::Cancelled.
 Result<std::vector<double>> BatchExactSkylineProbabilities(
     const Dataset& data, const PreferenceModel& model, ThreadPool& pool,
     const SolverOptions& options = {}, BatchExactStats* stats = nullptr);

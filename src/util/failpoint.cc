@@ -1,0 +1,82 @@
+#include "src/util/failpoint.h"
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace skypref {
+namespace failpoint {
+
+namespace {
+
+struct Site {
+  std::uint64_t fire_on_hit = 0;
+  std::atomic<std::uint64_t> hits{0};
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, Site> sites;
+};
+
+Registry& GetRegistry() {
+  // Leaked singleton: failpoints may be consulted during static
+  // destruction of test fixtures; never destroy the registry.
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+/// Count of armed sites. The unarmed fast path in Hit() is one relaxed
+/// load of this counter — no lock, no map lookup — so instrumented
+/// builds pay nothing measurable while no test is injecting faults.
+std::atomic<int> g_armed{0};
+
+}  // namespace
+
+void Arm(const char* site, std::uint64_t fire_on_hit) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  auto [it, inserted] = registry.sites.try_emplace(site);
+  if (inserted) g_armed.fetch_add(1, std::memory_order_relaxed);
+  it->second.fire_on_hit = fire_on_hit == 0 ? 1 : fire_on_hit;
+  it->second.hits.store(0, std::memory_order_relaxed);
+}
+
+void Disarm(const char* site) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  if (registry.sites.erase(site) > 0) {
+    g_armed.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void DisarmAll() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  g_armed.fetch_sub(static_cast<int>(registry.sites.size()),
+                    std::memory_order_relaxed);
+  registry.sites.clear();
+}
+
+std::uint64_t HitCount(const char* site) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  auto it = registry.sites.find(site);
+  if (it == registry.sites.end()) return 0;
+  return it->second.hits.load(std::memory_order_relaxed);
+}
+
+bool Hit(const char* site) {
+  if (g_armed.load(std::memory_order_relaxed) == 0) return false;
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  auto it = registry.sites.find(site);
+  if (it == registry.sites.end()) return false;
+  std::uint64_t hit =
+      it->second.hits.fetch_add(1, std::memory_order_relaxed) + 1;
+  return hit == it->second.fire_on_hit;
+}
+
+}  // namespace failpoint
+}  // namespace skypref

@@ -1,0 +1,95 @@
+#ifndef SKYPREF_UTIL_FAILPOINT_H_
+#define SKYPREF_UTIL_FAILPOINT_H_
+
+/// \file
+/// Deterministic failpoints: named fault-injection sites, compiled out
+/// of release builds.
+///
+/// Every graceful-degradation path in the solver stack (budget
+/// exhaustion, deadline expiry, task abort, per-target batch salvage)
+/// must be exercised by tests, not hoped-for. Failpoints make those
+/// paths reachable on demand: a site is a named checkpoint in solver
+/// code, and a test arms it to fire on its N-th hit — the classic
+/// fail-N-th-hit pattern — after which the site behaves exactly like the
+/// organic failure it simulates (the DFS reports ResourceExhausted, the
+/// sampler sees its deadline expired, the parallel engine aborts its
+/// task, the batch scheduler fails one target).
+///
+/// Code pattern at a site:
+///
+///     if (SKYPREF_FAILPOINT("exact.dfs")) {
+///       status_ = Status::ResourceExhausted("failpoint exact.dfs");
+///       return false;
+///     }
+///
+/// With SKYPREF_FAILPOINTS off (the default, and all release presets)
+/// the macro is the constant `false`, so sites cost nothing and the
+/// registry is not linked in. With -DSKYPREF_FAILPOINTS=ON (the
+/// asan-ubsan and tsan presets) the macro consults the registry.
+///
+/// Determinism: hit counters are per-site process-global atomics, so the
+/// N-th hit is unique even when many threads pass the site concurrently
+/// — exactly one caller observes the trigger, at a deterministic point
+/// in the site's own hit sequence. Sites are placed at the solvers'
+/// existing deterministic checkpoints (visit-count cadences, task
+/// starts, per-target dispatch), so "fires on hit N" selects the same
+/// logical work unit at every thread count.
+///
+/// Failpoints are test-only infrastructure: tests arm/disarm around each
+/// case (see ScopedFailpoint) and must not leave sites armed. The
+/// registry is thread-safe; the unarmed fast path is one relaxed atomic
+/// load of a global counter, no lock.
+
+#include <cstdint>
+
+namespace skypref {
+namespace failpoint {
+
+/// Arms \p site to trigger on its \p fire_on_hit-th hit from now
+/// (1-based; the counter restarts at arm time). Re-arming an armed site
+/// restarts its countdown. \p site must be a string literal or otherwise
+/// outlive the arming.
+void Arm(const char* site, std::uint64_t fire_on_hit = 1);
+
+/// Disarms \p site; hits pass through again. No-op when not armed.
+void Disarm(const char* site);
+
+/// Disarms every site and forgets all counters (test teardown).
+void DisarmAll();
+
+/// Number of hits \p site has absorbed since it was armed (0 when the
+/// site is not armed). For tests asserting a site is actually reached.
+std::uint64_t HitCount(const char* site);
+
+/// True iff this hit is the armed N-th one. Called via SKYPREF_FAILPOINT
+/// only; triggers exactly once per arming.
+bool Hit(const char* site);
+
+/// RAII arming for tests: arms in the constructor, disarms in the
+/// destructor, so a failing assertion cannot leak an armed site into the
+/// next test case.
+class ScopedFailpoint {
+ public:
+  explicit ScopedFailpoint(const char* site, std::uint64_t fire_on_hit = 1)
+      : site_(site) {
+    Arm(site, fire_on_hit);
+  }
+  ~ScopedFailpoint() { Disarm(site_); }
+
+  ScopedFailpoint(const ScopedFailpoint&) = delete;
+  ScopedFailpoint& operator=(const ScopedFailpoint&) = delete;
+
+ private:
+  const char* site_;
+};
+
+}  // namespace failpoint
+}  // namespace skypref
+
+#if defined(SKYPREF_FAILPOINTS) && SKYPREF_FAILPOINTS
+#define SKYPREF_FAILPOINT(site) (::skypref::failpoint::Hit(site))
+#else
+#define SKYPREF_FAILPOINT(site) (false)
+#endif
+
+#endif  // SKYPREF_UTIL_FAILPOINT_H_

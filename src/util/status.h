@@ -30,6 +30,7 @@ enum class StatusCode : std::uint8_t {
   kIOError,
   kUnimplemented,
   kInternal,
+  kCancelled,
 };
 
 /// \brief Human-readable name of a StatusCode ("InvalidArgument", ...).
@@ -76,6 +77,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   /// True iff this status represents success.

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/util/failpoint.h"
+
 namespace skypref {
 
 ThreadPool::ThreadPool(std::size_t threads) {
@@ -49,7 +51,12 @@ void ThreadPool::WorkerLoop() {
 void ThreadPool::ParallelFor(std::size_t count,
                              const std::function<void(std::size_t)>& fn) {
   if (count == 0) return;
-  if (workers_.empty()) {
+  // Failpoint "threadpool.serial": simulate a degraded pool (workers
+  // wedged or starved) by running this dispatch inline on the caller.
+  // Callers' results must not change — the solvers' determinism contract
+  // is thread-count independence — which is exactly what the failpoint
+  // tests assert.
+  if (workers_.empty() || SKYPREF_FAILPOINT("threadpool.serial")) {
     for (std::size_t i = 0; i < count; ++i) fn(i);
     return;
   }

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "src/core/parallel.h"
 #include "src/core/solver.h"
 #include "test_util.h"
@@ -62,16 +64,39 @@ TEST(BatchExactTest, NoPreprocessMatchesPlainDet) {
   }
 }
 
-TEST(BatchExactTest, SubsetBudgetErrorPropagates) {
+TEST(BatchExactTest, SubsetBudgetFailsTargetsIndividually) {
+  // Degradation contract: a target that exhausts its budget gets NaN and
+  // a ResourceExhausted in target_status, but the call succeeds and every
+  // other target keeps its bit-identical exact value.
   Dataset data = RandomSmallDataset(73, 12, 2, 4);
   TablePreferenceModel model;
   ThreadPool pool(2);
   SolverOptions tight;
   tight.exact.max_subsets = 1;
-  EXPECT_EQ(BatchExactSkylineProbabilities(data, model, pool, tight)
-                .status()
-                .code(),
-            StatusCode::kResourceExhausted);
+  BatchExactStats stats;
+  auto batch =
+      BatchExactSkylineProbabilities(data, model, pool, tight, &stats);
+  ASSERT_TRUE(batch.ok()) << batch.status();
+  ASSERT_EQ(stats.target_status.size(), data.size());
+  auto solver = SkylineSolver::Create(data, model).value();
+  std::size_t failed = 0;
+  for (ObjectId t = 0; t < data.size(); ++t) {
+    auto serial = solver.Exact(t, tight);
+    if (stats.target_status[t].ok()) {
+      ASSERT_TRUE(serial.ok()) << "target " << t;
+      EXPECT_EQ((*batch)[t], *serial) << "target " << t;
+    } else {
+      ++failed;
+      EXPECT_EQ(stats.target_status[t].code(),
+                StatusCode::kResourceExhausted)
+          << "target " << t;
+      EXPECT_TRUE(std::isnan((*batch)[t])) << "target " << t;
+      EXPECT_EQ(serial.status().code(), StatusCode::kResourceExhausted)
+          << "target " << t;
+    }
+  }
+  EXPECT_GT(failed, 0u);
+  EXPECT_EQ(stats.failed_targets, failed);
 }
 
 TEST(BatchExactTest, SingleObjectDatasetIsCertainSkyline) {

@@ -1,0 +1,213 @@
+/// Deterministic fault injection (src/util/failpoint.h): the facility
+/// itself, and every armed site forcing its engine down the intended
+/// degradation path — exact DFS, sampler loop, parallel task, batch
+/// target dispatch, thread-pool serial fallback. Site-driven tests skip
+/// in builds without SKYPREF_FAILPOINTS (the release presets); the
+/// sanitizer presets compile the sites in and run the full file under
+/// the `failpoint` ctest label.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "src/core/parallel.h"
+#include "src/core/resilient.h"
+#include "src/core/solver.h"
+#include "src/util/failpoint.h"
+#include "test_util.h"
+
+namespace skypref {
+namespace {
+
+using skypref::testing::RandomSmallDataset;
+
+#if defined(SKYPREF_FAILPOINTS) && SKYPREF_FAILPOINTS
+constexpr bool kFailpointsCompiledIn = true;
+#else
+constexpr bool kFailpointsCompiledIn = false;
+#endif
+
+#define SKYPREF_REQUIRE_FAILPOINTS()                                \
+  do {                                                              \
+    if (!kFailpointsCompiledIn) {                                   \
+      GTEST_SKIP() << "built without SKYPREF_FAILPOINTS";           \
+    }                                                               \
+  } while (false)
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  // Belt and braces: no test may leak an armed site into the next one.
+  void TearDown() override { failpoint::DisarmAll(); }
+};
+
+TEST_F(FailpointTest, FacilityFiresOnTheNthHitExactlyOnce) {
+  failpoint::Arm("test.site", 3);
+  EXPECT_FALSE(failpoint::Hit("test.site"));
+  EXPECT_FALSE(failpoint::Hit("test.site"));
+  EXPECT_TRUE(failpoint::Hit("test.site"));   // the armed 3rd hit
+  EXPECT_FALSE(failpoint::Hit("test.site"));  // fires exactly once
+  EXPECT_EQ(failpoint::HitCount("test.site"), 4u);
+  failpoint::Disarm("test.site");
+  EXPECT_FALSE(failpoint::Hit("test.site"));
+  EXPECT_EQ(failpoint::HitCount("test.site"), 0u);
+}
+
+TEST_F(FailpointTest, UnarmedSitesPassThrough) {
+  EXPECT_FALSE(failpoint::Hit("never.armed"));
+  EXPECT_EQ(failpoint::HitCount("never.armed"), 0u);
+}
+
+TEST_F(FailpointTest, RearmingRestartsTheCountdown) {
+  failpoint::Arm("test.rearm", 2);
+  EXPECT_FALSE(failpoint::Hit("test.rearm"));
+  failpoint::Arm("test.rearm", 2);  // restart
+  EXPECT_FALSE(failpoint::Hit("test.rearm"));
+  EXPECT_TRUE(failpoint::Hit("test.rearm"));
+}
+
+TEST_F(FailpointTest, ScopedFailpointDisarmsOnExit) {
+  {
+    failpoint::ScopedFailpoint armed("test.scoped");
+    EXPECT_TRUE(failpoint::Hit("test.scoped"));
+  }
+  EXPECT_FALSE(failpoint::Hit("test.scoped"));
+}
+
+TEST_F(FailpointTest, ExactDfsSiteForcesResourceExhaustedInBothEngines) {
+  SKYPREF_REQUIRE_FAILPOINTS();
+  Dataset data = RandomSmallDataset(31, 10, 2, 4);
+  TablePreferenceModel model;
+  for (auto engine :
+       {ExactOptions::Engine::kFlat, ExactOptions::Engine::kLookup}) {
+    ExactOptions options;
+    options.engine = engine;
+    {
+      failpoint::ScopedFailpoint armed("exact.dfs");
+      auto run = ExactSkylineProbability(data, 0, model, options);
+      EXPECT_EQ(run.status().code(), StatusCode::kResourceExhausted);
+      EXPECT_NE(run.status().message().find("failpoint"), std::string::npos);
+    }
+    // Disarmed, the same solve succeeds.
+    EXPECT_TRUE(ExactSkylineProbability(data, 0, model, options).ok());
+  }
+}
+
+TEST_F(FailpointTest, SamplerSiteTruncatesAtThePollBoundary) {
+  SKYPREF_REQUIRE_FAILPOINTS();
+  Dataset data = RandomSmallDataset(31, 10, 2, 4);
+  TablePreferenceModel model;
+  MonteCarloOptions options;
+  options.samples = 1000;
+  failpoint::ScopedFailpoint armed("sampler.world");
+  auto run = MonteCarloSkylineProbability(data, 0, model, options);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_TRUE(run->truncated);
+  EXPECT_EQ(run->samples, 64u);  // first deadline poll, every 64 worlds
+  EXPECT_EQ(run->requested_samples, 1000u);
+  EXPECT_GE(run->estimate, 0.0);
+  EXPECT_LE(run->estimate, 1.0);
+}
+
+TEST_F(FailpointTest, ParallelTaskSiteAbortsTheQueryAtEveryThreadCount) {
+  SKYPREF_REQUIRE_FAILPOINTS();
+  // The "parallel.task" site lives in the intra-group task engine, which
+  // engages only for groups of >= min_split_candidates (16): one
+  // 18-candidate group connected through the shared dim-0 value.
+  Dataset data(2);
+  data.Append({0, 0}).CheckOK();
+  for (std::size_t i = 0; i < 18; ++i) {
+    data.Append({1, static_cast<ValueId>(i + 1)}).CheckOK();
+  }
+  TablePreferenceModel model;
+  for (std::size_t threads : {0u, 1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    failpoint::ScopedFailpoint armed("parallel.task");
+    auto run = ParallelExactSkylineProbability(data, 0, model, pool);
+    // Whichever task absorbs the hit, the query-level outcome is the
+    // same at every thread count.
+    EXPECT_EQ(run.status().code(), StatusCode::kResourceExhausted)
+        << "threads " << threads;
+  }
+}
+
+TEST_F(FailpointTest, BatchTargetSiteFailsExactlyOneTargetAndSalvagesTheRest) {
+  SKYPREF_REQUIRE_FAILPOINTS();
+  Dataset data = RandomSmallDataset(73, 12, 2, 4);
+  TablePreferenceModel model;
+  ThreadPool pool(2);
+  auto clean = BatchExactSkylineProbabilities(data, model, pool);
+  ASSERT_TRUE(clean.ok());
+
+  failpoint::ScopedFailpoint armed("batch.target");
+  BatchExactStats stats;
+  auto run = BatchExactSkylineProbabilities(data, model, pool, {}, &stats);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_EQ(stats.failed_targets, 1u);
+  std::size_t failed = 0;
+  for (ObjectId t = 0; t < data.size(); ++t) {
+    if (stats.target_status[t].ok()) {
+      // Surviving targets keep their bit-identical exact values.
+      EXPECT_EQ((*run)[t], (*clean)[t]) << "target " << t;
+    } else {
+      ++failed;
+      EXPECT_EQ(stats.target_status[t].code(),
+                StatusCode::kResourceExhausted);
+      EXPECT_TRUE(std::isnan((*run)[t]));
+    }
+  }
+  EXPECT_EQ(failed, 1u);
+}
+
+TEST_F(FailpointTest, DegradedThreadPoolRunsInlineWithIdenticalResults) {
+  SKYPREF_REQUIRE_FAILPOINTS();
+  Dataset data = RandomSmallDataset(61, 14, 3, 4);
+  TablePreferenceModel model;
+  ThreadPool pool(4);
+  auto clean = BatchExactSkylineProbabilities(data, model, pool);
+  ASSERT_TRUE(clean.ok());
+  failpoint::ScopedFailpoint armed("threadpool.serial");
+  auto degraded = BatchExactSkylineProbabilities(data, model, pool);
+  ASSERT_TRUE(degraded.ok());
+  // The determinism contract: a dispatch forced inline on the caller
+  // changes nothing about the results.
+  EXPECT_EQ(*clean, *degraded);
+}
+
+TEST_F(FailpointTest, ResilientLadderDegradesExactlyTheInjectedGroup) {
+  SKYPREF_REQUIRE_FAILPOINTS();
+  // Target (0,0); one 10-candidate blob connected through dim-0 value 1,
+  // plus two singleton groups. Serial pool: the exact rung runs
+  // longest-first, so the armed first DFS visit lands in the blob.
+  Dataset data(2);
+  data.Append({0, 0}).CheckOK();
+  for (std::size_t i = 0; i < 10; ++i) {
+    data.Append({1, static_cast<ValueId>(i + 1)}).CheckOK();
+  }
+  data.Append({100, 100}).CheckOK();
+  data.Append({101, 101}).CheckOK();
+  TablePreferenceModel model;
+  ResilientOptions options;
+  options.solver.monte_carlo.samples = 200;
+  failpoint::ScopedFailpoint armed("exact.dfs");
+  auto run = ResilientSkylineProbability(data, 0, model, options);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_FALSE(run->fully_exact);
+  std::size_t sampled = 0;
+  for (const GroupReport& g : run->groups) {
+    if (g.quality == GroupQuality::kSampled) {
+      ++sampled;
+      EXPECT_EQ(g.size, 10u);
+      EXPECT_NE(g.exact_status.message().find("failpoint"),
+                std::string::npos);
+    } else {
+      EXPECT_EQ(g.quality, GroupQuality::kExact);
+    }
+  }
+  EXPECT_EQ(sampled, 1u);
+  EXPECT_GE(run->estimate, 0.0);
+  EXPECT_LE(run->estimate, 1.0);
+}
+
+}  // namespace
+}  // namespace skypref

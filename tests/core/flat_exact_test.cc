@@ -126,8 +126,8 @@ TEST(FlatExactTest, PreExpiredSharedDeadlineAborts) {
        {ExactOptions::Engine::kFlat, ExactOptions::Engine::kLookup}) {
     ExactOptions expired;
     expired.engine = engine;
-    expired.deadline =
-        std::chrono::steady_clock::now() - std::chrono::seconds(1);
+    expired.deadline = Deadline::At(std::chrono::steady_clock::now() -
+                                    std::chrono::seconds(1));
     EXPECT_EQ(
         ExactSkylineProbability(data, 0, model, expired).status().code(),
         StatusCode::kResourceExhausted);

@@ -1,5 +1,6 @@
 #include "src/core/monte_carlo.h"
 
+#include <chrono>
 #include <cmath>
 
 #include <gtest/gtest.h>
@@ -180,6 +181,71 @@ TEST(MonteCarloTest, InvalidArgumentsRejected) {
                 .status()
                 .code(),
             StatusCode::kInvalidArgument);
+}
+
+TEST(HoeffdingTest, EpsilonIsTheInverseOfSampleSize) {
+  for (double epsilon : {0.1, 0.05, 0.01}) {
+    for (double delta : {0.1, 0.01}) {
+      std::uint64_t m = HoeffdingSampleSize(epsilon, delta);
+      // The sample count is rounded up, so the certified epsilon is at
+      // most the requested one.
+      EXPECT_LE(HoeffdingEpsilon(m, delta), epsilon + 1e-12);
+      EXPECT_GT(HoeffdingEpsilon(m, delta), 0.0);
+    }
+  }
+}
+
+TEST(HoeffdingTest, EpsilonWidensAsSamplesShrink) {
+  EXPECT_GT(HoeffdingEpsilon(64, 0.01), HoeffdingEpsilon(3000, 0.01));
+  // Vacuous bound on degenerate inputs: no samples, or no valid delta.
+  EXPECT_EQ(HoeffdingEpsilon(0, 0.01), 1.0);
+  EXPECT_EQ(HoeffdingEpsilon(100, 0.0), 1.0);
+  EXPECT_EQ(HoeffdingEpsilon(100, 1.5), 1.0);
+}
+
+TEST(MonteCarloTest, ExpiredDeadlineReturnsPartialResult) {
+  Dataset data = RandomSmallDataset(31, 10, 2, 4);
+  TablePreferenceModel model;
+  MonteCarloOptions options;
+  options.samples = 10000;
+  options.deadline = Deadline::At(Deadline::Clock::now() -
+                                  std::chrono::seconds(1));
+  auto run = MonteCarloSkylineProbability(data, 0, model, options);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_TRUE(run->truncated);
+  // The deadline is polled every 64 worlds, AFTER sampling, so the
+  // partial estimate always rests on at least min(64, samples) draws.
+  EXPECT_EQ(run->samples, 64u);
+  EXPECT_EQ(run->requested_samples, 10000u);
+  EXPECT_GE(run->estimate, 0.0);
+  EXPECT_LE(run->estimate, 1.0);
+}
+
+TEST(MonteCarloTest, UnexpiredTimeLimitDrawsEverySample) {
+  Dataset data = Figure1Dataset();
+  TablePreferenceModel model;
+  MonteCarloOptions options;
+  options.samples = 200;
+  options.time_limit_seconds = 3600.0;
+  auto run = MonteCarloSkylineProbability(data, 0, model, options);
+  ASSERT_TRUE(run.ok());
+  EXPECT_FALSE(run->truncated);
+  EXPECT_EQ(run->samples, 200u);
+  EXPECT_EQ(run->requested_samples, 200u);
+}
+
+TEST(MonteCarloTest, PreCancelledTokenReturnsCancelled) {
+  Dataset data = Figure1Dataset();
+  TablePreferenceModel model;
+  CancelToken token;
+  token.RequestCancel();
+  MonteCarloOptions options;
+  options.samples = 200;
+  options.cancel = &token;
+  EXPECT_EQ(MonteCarloSkylineProbability(data, 0, model, options)
+                .status()
+                .code(),
+            StatusCode::kCancelled);
 }
 
 }  // namespace

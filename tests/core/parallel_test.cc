@@ -131,8 +131,8 @@ TEST(ParallelExactTest, PreExpiredDeadlineAbortsTheWholeQuery) {
   TablePreferenceModel model;
   ThreadPool pool(4);
   ExactOptions expired;
-  expired.deadline =
-      std::chrono::steady_clock::now() - std::chrono::seconds(1);
+  expired.deadline = Deadline::At(std::chrono::steady_clock::now() -
+                                  std::chrono::seconds(1));
   EXPECT_EQ(ParallelExactSkylineProbability(data, 0, model, pool, expired)
                 .status()
                 .code(),
@@ -240,6 +240,60 @@ TEST(ParallelAllWorldsTest, ThreadCountInvariantAndAccurate) {
     EXPECT_NEAR(parallel->estimates[i], solver.Exact(i).value(), 0.015)
         << "object " << i;
   }
+}
+
+TEST(ParallelExactTest, PreCancelledTokenCancelsAtEveryThreadCount) {
+  // Cancellation is observed at deterministic work boundaries, so a
+  // token cancelled before the solve starts yields Status::Cancelled —
+  // not ResourceExhausted, not a partial answer — at any thread count.
+  Dataset data = RandomSmallDataset(47, 14, 3, 4);
+  TablePreferenceModel model;
+  CancelToken token;
+  token.RequestCancel();
+  ExactOptions cancelled;
+  cancelled.cancel = &token;
+  for (std::size_t threads : {0u, 1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(ParallelExactSkylineProbability(data, 0, model, pool, cancelled)
+                  .status()
+                  .code(),
+              StatusCode::kCancelled)
+        << "threads " << threads;
+  }
+}
+
+TEST(ParallelMonteCarloTest, SharedDeadlineTruncatesEveryChunk) {
+  Dataset data = RandomSmallDataset(31, 10, 2, 4);
+  TablePreferenceModel model;
+  ThreadPool pool(4);
+  MonteCarloOptions options;
+  options.samples = 8192;
+  options.deadline = Deadline::At(Deadline::Clock::now() -
+                                  std::chrono::seconds(1));
+  auto run = ParallelMonteCarloSkylineProbability(data, 0, model, pool,
+                                                  options);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_TRUE(run->truncated);
+  EXPECT_LT(run->samples, 8192u);
+  EXPECT_GT(run->samples, 0u);
+  EXPECT_EQ(run->requested_samples, 8192u);
+  EXPECT_GE(run->estimate, 0.0);
+  EXPECT_LE(run->estimate, 1.0);
+}
+
+TEST(ParallelMonteCarloTest, PreCancelledTokenCancels) {
+  Dataset data = RandomSmallDataset(31, 10, 2, 4);
+  TablePreferenceModel model;
+  ThreadPool pool(2);
+  CancelToken token;
+  token.RequestCancel();
+  MonteCarloOptions options;
+  options.samples = 1000;
+  options.cancel = &token;
+  EXPECT_EQ(ParallelMonteCarloSkylineProbability(data, 0, model, pool, options)
+                .status()
+                .code(),
+            StatusCode::kCancelled);
 }
 
 TEST(ParallelAllWorldsTest, RejectsInvalidInputs) {

@@ -2,11 +2,14 @@
 /// process; stdout is captured through a temp file. The binary path is
 /// injected by CMake as SKYPROB_PATH.
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
 #include <gtest/gtest.h>
+
+#include <unistd.h>
 
 #include "src/io/csv.h"
 
@@ -18,8 +21,16 @@ struct CommandResult {
   std::string output;
 };
 
+// ctest runs each test case as its own concurrent process, so every temp
+// path must be unique per process (and per call within one).
+std::string UniqueTempPath(const std::string& stem, const std::string& ext) {
+  static std::atomic<int> counter{0};
+  return ::testing::TempDir() + "/" + stem + "_" + std::to_string(getpid()) +
+         "_" + std::to_string(counter.fetch_add(1)) + ext;
+}
+
 CommandResult RunCli(const std::string& arguments) {
-  std::string out_path = ::testing::TempDir() + "/skyprob_cli_out.txt";
+  std::string out_path = UniqueTempPath("skyprob_cli_out", ".txt");
   std::string command = std::string(SKYPROB_PATH) + " " + arguments + " > " +
                         out_path + " 2>&1";
   int raw = std::system(command.c_str());
@@ -31,9 +42,7 @@ CommandResult RunCli(const std::string& arguments) {
   return result;
 }
 
-std::string TempCsv() {
-  return ::testing::TempDir() + "/skyprob_cli_data.csv";
-}
+std::string TempCsv() { return UniqueTempPath("skyprob_cli_data", ".csv"); }
 
 TEST(CliTest, NoArgumentsPrintsUsageAndFails) {
   CommandResult result = RunCli("");
@@ -70,7 +79,7 @@ TEST(CliTest, GenerateSolveInspectPipeline) {
 }
 
 TEST(CliTest, BinaryDatasetRoundTrip) {
-  std::string path = ::testing::TempDir() + "/skyprob_cli_data.skyd";
+  std::string path = UniqueTempPath("skyprob_cli_data", ".skyd");
   CommandResult generate = RunCli(
       "generate --kind=uniform --objects=40 --dims=3 --out=" + path);
   ASSERT_EQ(generate.exit_code, 0) << generate.output;

@@ -172,6 +172,97 @@ class IncludeGuardRule(LintHarness):
         self.assertEqual(self.rules("src/core/x.cc"), [])
 
 
+class DiscardedStatusRule(LintHarness):
+    DECLS = ("Status Validate(const Dataset& data);\n"
+             "Result<double> Solve(ObjectId target);\n")
+
+    def test_bare_call_flagged(self):
+        self.write("src/core/x.cc",
+                   self.DECLS + "void F() {\n  Validate(data);\n}\n")
+        self.assertIn("discarded-status", self.rules("src/core/x.cc"))
+
+    def test_bare_result_call_flagged(self):
+        self.write("src/core/x.cc",
+                   self.DECLS + "void F() {\n  Solve(0);\n}\n")
+        self.assertIn("discarded-status", self.rules("src/core/x.cc"))
+
+    def test_qualified_bare_call_flagged(self):
+        self.write("src/core/x.cc",
+                   self.DECLS + "void F() {\n  data.Validate(data);\n}\n")
+        self.assertIn("discarded-status", self.rules("src/core/x.cc"))
+
+    def test_assignment_not_flagged(self):
+        self.write("src/core/x.cc",
+                   self.DECLS + "void F() {\n  auto s = Validate(data);\n}\n")
+        self.assertEqual(self.rules("src/core/x.cc"), [])
+
+    def test_return_not_flagged(self):
+        self.write("src/core/x.cc",
+                   self.DECLS + "Status F() {\n  return Validate(data);\n}\n")
+        self.assertEqual(self.rules("src/core/x.cc"), [])
+
+    def test_if_condition_not_flagged(self):
+        self.write("src/core/x.cc",
+                   self.DECLS +
+                   "void F() {\n  if (Validate(data).ok()) return;\n}\n")
+        self.assertEqual(self.rules("src/core/x.cc"), [])
+
+    def test_chained_consumption_not_flagged(self):
+        self.write("src/core/x.cc",
+                   self.DECLS +
+                   "void F() {\n  Validate(data).CheckOK();\n}\n")
+        self.assertEqual(self.rules("src/core/x.cc"), [])
+
+    def test_continuation_line_not_flagged(self):
+        # The wrapped argument of SKYPREF_ASSIGN_OR_RETURN looks exactly
+        # like a bare call; the statement-start tracking must skip it.
+        self.write("src/core/x.cc",
+                   self.DECLS +
+                   "Status F() {\n"
+                   "  SKYPREF_ASSIGN_OR_RETURN(\n"
+                   "      double p,\n"
+                   "      Solve(0));\n"
+                   "  return Status::OK();\n"
+                   "}\n")
+        self.assertEqual(self.rules("src/core/x.cc"), [])
+
+    def test_wrapped_assignment_rhs_not_flagged(self):
+        self.write("src/core/x.cc",
+                   self.DECLS +
+                   "void F() {\n"
+                   "  auto survival =\n"
+                   "      Solve(0);\n"
+                   "}\n")
+        self.assertEqual(self.rules("src/core/x.cc"), [])
+
+    def test_unregistered_function_not_flagged(self):
+        self.write("src/core/x.cc",
+                   self.DECLS + "void F() {\n  Notify(data);\n}\n")
+        self.assertEqual(self.rules("src/core/x.cc"), [])
+
+    def test_suppression_comment(self):
+        self.write(
+            "src/core/x.cc",
+            self.DECLS +
+            "void F() {\n"
+            "  Validate(data);  // skypref-lint: allow(discarded-status)\n"
+            "}\n")
+        self.assertEqual(self.rules("src/core/x.cc"), [])
+
+    def test_registry_spans_files_through_main(self):
+        # Declaration in the header, discarded call in another file: the
+        # tree-wide pass wires them together.
+        self.write("src/core/api.h",
+                   "#ifndef SKYPREF_CORE_API_H_\n"
+                   "#define SKYPREF_CORE_API_H_\n"
+                   "Status Validate(const Dataset& data);\n"
+                   "#endif  // SKYPREF_CORE_API_H_\n")
+        self.write("src/core/user.cc", "void F() {\n  Validate(data);\n}\n")
+        code, out, _ = self.run_lint()
+        self.assertEqual(code, 1)
+        self.assertIn("src/core/user.cc:2: [discarded-status]", out)
+
+
 class CliBehavior(LintHarness):
     def test_clean_tree_exits_zero(self):
         self.write("src/core/x.cc", "int F() { return 1; }\n")

@@ -1,0 +1,89 @@
+/// Deadline / CancelToken semantics (src/util/cancel.h): the unified
+/// deadline type's never/at/after states, the shared-flag token, and the
+/// CheckStop precedence rule (cancellation beats deadline expiry).
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "src/util/cancel.h"
+
+namespace skypref {
+namespace {
+
+TEST(DeadlineTest, DefaultNeverExpires) {
+  Deadline never;
+  EXPECT_FALSE(never.has_value());
+  EXPECT_FALSE(never.Expired());
+  EXPECT_FALSE(Deadline::Never().has_value());
+}
+
+TEST(DeadlineTest, NonPositiveSecondsMeansNever) {
+  EXPECT_FALSE(Deadline::After(0.0).has_value());
+  EXPECT_FALSE(Deadline::After(-1.0).has_value());
+}
+
+TEST(DeadlineTest, AfterPositiveSecondsIsSetAndNotYetExpired) {
+  Deadline later = Deadline::After(3600.0);
+  EXPECT_TRUE(later.has_value());
+  EXPECT_FALSE(later.Expired());
+  EXPECT_GT(later.when(), Deadline::Clock::now());
+}
+
+TEST(DeadlineTest, AtPastTimeIsExpired) {
+  Deadline past = Deadline::At(Deadline::Clock::now() -
+                               std::chrono::seconds(1));
+  EXPECT_TRUE(past.has_value());
+  EXPECT_TRUE(past.Expired());
+}
+
+TEST(CancelTokenTest, DefaultConstructedIsLive) {
+  CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST(CancelTokenTest, CopiesShareTheFlag) {
+  CancelToken token;
+  CancelToken copy = token;
+  copy.RequestCancel();
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_TRUE(copy.cancelled());
+  // Idempotent.
+  token.RequestCancel();
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST(CancelTokenTest, CancelFromAnotherThreadIsObserved) {
+  CancelToken token;
+  std::thread other([token] { token.RequestCancel(); });
+  other.join();
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST(CancelTest, CancelledStatusCode) {
+  EXPECT_EQ(CancelledStatus().code(), StatusCode::kCancelled);
+}
+
+TEST(CheckStopTest, OkWhenNothingTripped) {
+  CancelToken token;
+  EXPECT_TRUE(CheckStop(&token, Deadline::Never()).ok());
+  EXPECT_TRUE(CheckStop(nullptr, Deadline::Never()).ok());
+}
+
+TEST(CheckStopTest, ExpiredDeadlineIsResourceExhausted) {
+  Deadline past = Deadline::At(Deadline::Clock::now() -
+                               std::chrono::seconds(1));
+  EXPECT_EQ(CheckStop(nullptr, past).code(), StatusCode::kResourceExhausted);
+}
+
+TEST(CheckStopTest, CancellationBeatsDeadlineExpiry) {
+  CancelToken token;
+  token.RequestCancel();
+  Deadline past = Deadline::At(Deadline::Clock::now() -
+                               std::chrono::seconds(1));
+  EXPECT_EQ(CheckStop(&token, past).code(), StatusCode::kCancelled);
+}
+
+}  // namespace
+}  // namespace skypref

@@ -22,6 +22,16 @@ in a trailing comment, which must state why):
   include-guard   Headers under src/ must guard with
                   SKYPREF_<PATH>_H_ derived from the repo-relative path
                   (e.g. src/util/check.h -> SKYPREF_UTIL_CHECK_H_).
+  discarded-status
+                  A bare statement calling a function whose declaration
+                  returns Status or Result<...> throws the error away —
+                  the failure silently vanishes. Consume it: check ok(),
+                  CheckOK(), assign it, or wrap it in the RETURN_IF_ERROR
+                  macros. The rule is a heuristic: it collects the names
+                  of Status/Result-returning functions declared in the
+                  linted tree, then flags single-line statements that
+                  start with a call to one of them and neither assign,
+                  chain, nor test the value.
 
 Usage:
   tools/skypref_lint.py [paths...]     # default: src/
@@ -46,6 +56,7 @@ RULE_NO_RAW_RANDOM = "no-raw-random"
 RULE_NO_STDOUT = "no-stdout"
 RULE_FLOAT_EQ = "float-eq"
 RULE_INCLUDE_GUARD = "include-guard"
+RULE_DISCARDED_STATUS = "discarded-status"
 
 EXCEPTION_RE = re.compile(r"\b(throw|try|catch)\b")
 RAW_RANDOM_RE = re.compile(r"\b(?:s?rand)\s*\(|std::random_device")
@@ -54,6 +65,29 @@ FLOAT_LITERAL = r"[0-9]+\.[0-9]*(?:[eE][+-]?[0-9]+)?[fFlL]?"
 FLOAT_EQ_RE = re.compile(
     r"(?:(?:==|!=)\s*-?{lit})|(?:{lit}\s*(?:==|!=))".format(lit=FLOAT_LITERAL)
 )
+
+# A declaration or definition whose return type is Status or Result<...>:
+# the function-name registry feeding the discarded-status rule.
+STATUS_DECL_RE = re.compile(
+    r"\b(?:Status|Result<[^;(){}]*>)\s+"
+    r"(?:[A-Za-z_]\w*::)*([A-Za-z_]\w*)\s*\("
+)
+
+# Statement keywords that legitimately start a line containing a call
+# whose value IS consumed (returned, tested, iterated).
+STATEMENT_KEYWORD_RE = re.compile(
+    r"^\s*(?:return|co_return|if|else|while|for|do|switch|case)\b"
+)
+
+
+def collect_status_functions(code_lines: List[str]) -> set:
+    """Names of functions declared (in these stripped lines) to return
+    Status or Result<...>."""
+    names = set()
+    for code in code_lines:
+        for m in STATUS_DECL_RE.finditer(code):
+            names.add(m.group(1))
+    return names
 
 
 class Finding(NamedTuple):
@@ -139,7 +173,8 @@ def is_suppressed(raw_line: str, rule: str) -> bool:
     return any(m.group(1) == rule for m in ALLOW_RE.finditer(raw_line))
 
 
-def check_file(path: Path, repo_root: Path) -> List[Finding]:
+def check_file(path: Path, repo_root: Path,
+               status_functions: set | None = None) -> List[Finding]:
     rel = path.relative_to(repo_root)
     raw = path.read_text(encoding="utf-8")
     raw_lines = raw.split("\n")
@@ -149,10 +184,32 @@ def check_file(path: Path, repo_root: Path) -> List[Finding]:
     in_random_home = rel.as_posix().startswith("src/util/random.")
     in_core = rel.as_posix().startswith("src/core/")
 
+    # Single-file mode (tests, ad-hoc invocation): the registry is just
+    # this file's own declarations. main() passes the tree-wide set.
+    if status_functions is None:
+        status_functions = collect_status_functions(code_lines)
+    bare_call_re = None
+    if status_functions:
+        names = "|".join(sorted(re.escape(n) for n in status_functions))
+        # A statement that starts with a (possibly object-qualified) call
+        # to a registered function and ends on the same line. Chained or
+        # nested calls leave a ")." / ")->" on the line and are skipped:
+        # the value might be consumed, and this rule prefers precision.
+        bare_call_re = re.compile(
+            r"^\s*(?:[A-Za-z_]\w*(?:\.|->|::))*"
+            r"(?:{names})\s*\(.*\)\s*;\s*$".format(names=names)
+        )
+
     def add(lineno: int, rule: str, message: str) -> None:
         if not is_suppressed(raw_lines[lineno - 1], rule):
             findings.append(Finding(rel, lineno, rule, message))
 
+    # Tracks whether the current line STARTS a statement: the previous
+    # non-blank code line ended one (`;`, braces, labels, preprocessor).
+    # Otherwise the line is a continuation — e.g. the wrapped argument of
+    # SKYPREF_ASSIGN_OR_RETURN or the right-hand side of an assignment —
+    # and the discarded-status rule must not look at it in isolation.
+    at_statement_start = True
     for lineno, code in enumerate(code_lines, start=1):
         for m in EXCEPTION_RE.finditer(code):
             add(lineno, RULE_NO_EXCEPTIONS,
@@ -173,6 +230,21 @@ def check_file(path: Path, repo_root: Path) -> List[Finding]:
                     "exact ==/!= against a floating-point literal in core "
                     "solver code (compare with a tolerance, or annotate a "
                     "deliberate exact-zero test)")
+        if (bare_call_re is not None
+                and at_statement_start
+                and "=" not in code
+                and ")." not in code
+                and ")->" not in code
+                and code.count("(") == code.count(")")
+                and not STATEMENT_KEYWORD_RE.match(code)
+                and bare_call_re.match(code)):
+            add(lineno, RULE_DISCARDED_STATUS,
+                "Status/Result return value discarded (check ok(), "
+                "CheckOK(), assign it, or use SKYPREF_RETURN_IF_ERROR)")
+        stripped = code.strip()
+        if stripped:
+            at_statement_start = (stripped[-1] in ";{}:"
+                                  or stripped.startswith("#"))
 
     if path.suffix in (".h", ".hpp"):
         guard = expected_guard(rel)
@@ -219,9 +291,16 @@ def main(argv: List[str]) -> int:
         print(f"skypref_lint: no such path: {err.args[0]}", file=sys.stderr)
         return 2
 
+    # Pass 1: collect Status/Result-returning function names tree-wide,
+    # so a call in one file is checked against a declaration in another.
+    status_functions: set = set()
+    for source in sources:
+        status_functions |= collect_status_functions(
+            strip_code(source.read_text(encoding="utf-8")))
+
     findings: List[Finding] = []
     for source in sources:
-        findings.extend(check_file(source, repo_root))
+        findings.extend(check_file(source, repo_root, status_functions))
 
     for finding in findings:
         print(finding)
