@@ -18,9 +18,21 @@
 /// quietly come from a wrong answer. The binary is plain chrono + JSON —
 /// no google-benchmark — so CI can upload the artifact as-is.
 ///
-/// Usage: bench_hotpath [output.json]   (default BENCH_exact.json)
+/// A second artifact, BENCH_sam.json, tracks the Monte-Carlo engine:
+///
+///   5. sam_scaling — one block-Sam solve across 1/2/4/8-thread pools
+///                    (worlds/sec curve), cross-checked bit-identical to
+///                    the single-thread run and timed against the serial
+///                    Sam engine on the same seed/sample budget;
+///   6. batch_sam   — all-objects estimation, per-target block-Sam loop
+///                    vs BatchMonteCarloSkylineProbabilities (wall time
+///                    and the pair_draws world-sharing ratio).
+///
+/// Usage: bench_hotpath [exact.json] [sam.json]
+///        (defaults BENCH_exact.json / BENCH_sam.json)
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -30,7 +42,9 @@
 #include <vector>
 
 #include "src/core/exact.h"
+#include "src/core/monte_carlo.h"
 #include "src/core/parallel.h"
+#include "src/core/sam_parallel.h"
 #include "src/core/solver.h"
 #include "src/model/preference_model.h"
 #include "src/util/cancel.h"
@@ -288,8 +302,155 @@ std::string BenchResilience() {
   return json.str();
 }
 
+/// Section 5: block-Sam thread scaling on one hard target. The dataset
+/// is the BenchBatch block-Zipf workload, whose correlated blocks leave
+/// large independence groups — exactly where Sam replaces Det+. The
+/// estimate is checked bit-identical across pools (the block-seeding
+/// contract) and the serial engine runs the same budget for reference.
+std::string BenchSamScaling() {
+  BlockZipfOptions gen;
+  gen.objects = FullScale() ? 2000 : 400;
+  gen.dimensions = 3;
+  gen.block_size = 12;
+  gen.values_per_block = 6;
+  gen.theta = 1.0;
+  gen.seed = 7;
+  Dataset data = GenerateBlockZipf(gen).value();
+  HashedPreferenceModel base(2013,
+                             HashedPreferenceModel::Style::kTotalUniform);
+  BlockLocalPreferenceModel model(base, gen.values_per_block);
+
+  MonteCarloOptions options;
+  options.samples = FullScale() ? 2000000 : 400000;
+  options.seed = 7;
+
+  double serial_value = 0.0;
+  double serial_seconds = TimeBest(2, [&] {
+    serial_value =
+        MonteCarloSkylineProbability(data, 0, model, options)->estimate;
+  });
+
+  std::ostringstream json;
+  json << "  \"sam_scaling\": {\n"
+       << "    \"objects\": " << data.size() << ",\n"
+       << "    \"samples\": " << options.samples << ",\n"
+       << "    \"serial_engine_seconds\": " << FormatDouble(serial_seconds)
+       << ",\n";
+  double base_seconds = 0.0;
+  std::uint64_t reference_worlds = 0;
+  double block_estimate = 0.0;
+  bool bit_identical = true;
+  double worlds = static_cast<double>(options.samples);
+  json << "    \"threads\": [\n";
+  const std::vector<std::size_t> thread_counts = {1, 2, 4, 8};
+  for (std::size_t t = 0; t < thread_counts.size(); ++t) {
+    ThreadPool pool(thread_counts[t]);
+    MonteCarloResult result;
+    double seconds = TimeBest(2, [&] {
+      result =
+          BlockMonteCarloSkylineProbability(data, 0, model, pool, options)
+              .value();
+    });
+    if (t == 0) {
+      reference_worlds = result.skyline_worlds;
+      block_estimate = result.estimate;
+      base_seconds = seconds;
+    } else if (result.skyline_worlds != reference_worlds) {
+      bit_identical = false;
+    }
+    json << "      {\"threads\": " << thread_counts[t]
+         << ", \"seconds\": " << FormatDouble(seconds)
+         << ", \"worlds_per_sec\": " << FormatDouble(worlds / seconds)
+         << ", \"speedup_vs_1\": " << FormatDouble(base_seconds / seconds)
+         << "}" << (t + 1 < thread_counts.size() ? "," : "") << "\n";
+  }
+  json << "    ],\n"
+       << "    \"serial_vs_1_thread_block\": "
+       << FormatDouble(serial_seconds / base_seconds) << ",\n"
+       << "    \"serial_estimate\": " << FormatDouble(serial_value) << ",\n"
+       << "    \"block_estimate\": " << FormatDouble(block_estimate) << ",\n"
+       << "    \"bit_identical_across_threads\": "
+       << (bit_identical ? "true" : "false") << "\n"
+       << "  }";
+  SKYPREF_CHECK(bit_identical);
+  // Both engines estimate the same probability; their streams differ, so
+  // agreement is statistical, not bit-exact. At these sample counts a
+  // divergence past 0.02 means a broken sampler, not noise.
+  SKYPREF_CHECK(std::abs(serial_value - block_estimate) < 0.02);
+  return json.str();
+}
+
+/// Section 6: world sharing. The batch sampler draws each distinct value
+/// pair once per world and reuses it for every target; the per-target
+/// loop redraws. pair_draws counts both sides of that ledger exactly.
+std::string BenchBatchSam() {
+  BlockZipfOptions gen;
+  gen.objects = FullScale() ? 600 : 150;
+  gen.dimensions = 3;
+  gen.block_size = 12;
+  gen.values_per_block = 6;
+  gen.theta = 1.0;
+  gen.seed = 7;
+  Dataset data = GenerateBlockZipf(gen).value();
+  HashedPreferenceModel base(2013,
+                             HashedPreferenceModel::Style::kTotalUniform);
+  BlockLocalPreferenceModel model(base, gen.values_per_block);
+
+  SolverOptions options;
+  options.monte_carlo.samples = FullScale() ? 40000 : 10000;
+  options.monte_carlo.seed = 7;
+  ThreadPool pool(ThreadPool::DefaultThreads());
+
+  std::uint64_t per_target_draws = 0;
+  double per_target_seconds = TimeBest(2, [&] {
+    per_target_draws = 0;
+    for (ObjectId target = 0; target < data.size(); ++target) {
+      per_target_draws +=
+          BlockMonteCarloSkylineProbability(data, target, model, pool,
+                                            options.monte_carlo)
+              ->pair_draws;
+    }
+  });
+
+  BatchSamStats stats;
+  std::vector<double> batch;
+  double batch_seconds = TimeBest(2, [&] {
+    batch = BatchMonteCarloSkylineProbabilities(data, model, pool, options,
+                                                &stats)
+                .value();
+  });
+  SKYPREF_CHECK(batch.size() == data.size());
+
+  double targets = static_cast<double>(data.size());
+  std::ostringstream json;
+  json << "  \"batch_sam\": {\n"
+       << "    \"objects\": " << data.size() << ",\n"
+       << "    \"samples\": " << options.monte_carlo.samples << ",\n"
+       << "    \"pool_threads\": " << pool.thread_count() << ",\n"
+       << "    \"distinct_pairs\": " << stats.distinct_pairs << ",\n"
+       << "    \"per_target_seconds\": " << FormatDouble(per_target_seconds)
+       << ",\n"
+       << "    \"batch_seconds\": " << FormatDouble(batch_seconds) << ",\n"
+       << "    \"per_target_targets_per_sec\": "
+       << FormatDouble(targets / per_target_seconds) << ",\n"
+       << "    \"batch_targets_per_sec\": "
+       << FormatDouble(targets / batch_seconds) << ",\n"
+       << "    \"speedup\": "
+       << FormatDouble(per_target_seconds / batch_seconds) << ",\n"
+       << "    \"per_target_pair_draws\": " << per_target_draws << ",\n"
+       << "    \"batch_pair_draws\": " << stats.pair_draws << ",\n"
+       << "    \"pair_draw_ratio\": "
+       << FormatDouble(static_cast<double>(per_target_draws) /
+                       static_cast<double>(stats.pair_draws))
+       << "\n"
+       << "  }";
+  SKYPREF_CHECK(stats.pair_draws < per_target_draws);
+  return json.str();
+}
+
 int Main(int argc, char** argv) {
   const std::string path = argc > 1 ? argv[1] : "BENCH_exact.json";
+  const std::string sam_path = argc > 2 ? argv[2] : "BENCH_sam.json";
   std::ostringstream json;
   json << "{\n"
        << "  \"bench\": \"bench_hotpath\",\n"
@@ -313,6 +474,27 @@ int Main(int argc, char** argv) {
   out << json.str();
   out.close();
   std::fprintf(stderr, "bench_hotpath: wrote %s\n", path.c_str());
+
+  std::ostringstream sam_json;
+  sam_json << "{\n"
+           << "  \"bench\": \"bench_hotpath\",\n"
+           << "  \"scale\": \"" << (FullScale() ? "full" : "quick")
+           << "\",\n"
+           << "  \"hardware_threads\": "
+           << std::thread::hardware_concurrency() << ",\n";
+  std::fprintf(stderr, "bench_hotpath: sam thread scaling...\n");
+  sam_json << BenchSamScaling() << ",\n";
+  std::fprintf(stderr, "bench_hotpath: batch sam world sharing...\n");
+  sam_json << BenchBatchSam() << "\n}\n";
+
+  std::ofstream sam_out(sam_path);
+  if (!sam_out) {
+    std::fprintf(stderr, "bench_hotpath: cannot open %s\n", sam_path.c_str());
+    return 1;
+  }
+  sam_out << sam_json.str();
+  sam_out.close();
+  std::fprintf(stderr, "bench_hotpath: wrote %s\n", sam_path.c_str());
   return 0;
 }
 

@@ -57,19 +57,77 @@ void BM_Parallel_AllWorlds(benchmark::State& state) {
   state.counters["expected_skyline_objects"] = checksum;
 }
 
+// Sam thread scaling: one target, worlds fanned out in fixed blocks over
+// the pool. skyline_worlds is exported so runs at different arg values
+// can be diffed for the bit-identity contract.
+void BM_Parallel_BlockSam(benchmark::State& state) {
+  const std::size_t threads = static_cast<std::size_t>(state.range(0));
+  Dataset data = GenerateBlockZipf(BlockZipfConfig(2000, 3)).value();
+  HashedPreferenceModel base = PaperPreferences();
+  BlockLocalPreferenceModel prefs = BlockPrefs(base);
+  ThreadPool pool(threads);
+  MonteCarloOptions options;
+  options.samples = FullScale() ? 2000000 : 200000;
+  options.seed = 7;
+  MonteCarloResult result;
+  for (auto _ : state) {
+    result =
+        BlockMonteCarloSkylineProbability(data, 0, prefs, pool, options)
+            .value();
+    Keep(result.skyline_worlds);
+  }
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["skyline_worlds"] =
+      static_cast<double>(result.skyline_worlds);
+  state.counters["sky_last"] = result.estimate;
+}
+
+// World-shared batch Sam: every target estimated from the same sampled
+// worlds, one ternary draw per distinct value pair per world.
+void BM_Parallel_BatchSam(benchmark::State& state) {
+  const std::size_t threads = static_cast<std::size_t>(state.range(0));
+  Dataset data = GenerateBlockZipf(BlockZipfConfig(600, 3)).value();
+  HashedPreferenceModel base = PaperPreferences();
+  BlockLocalPreferenceModel prefs = BlockPrefs(base);
+  ThreadPool pool(threads);
+  SolverOptions options;
+  options.monte_carlo.samples = FullScale() ? 100000 : 10000;
+  options.monte_carlo.seed = 7;
+  BatchSamStats stats;
+  double checksum = 0.0;
+  for (auto _ : state) {
+    auto estimates =
+        BatchMonteCarloSkylineProbabilities(data, prefs, pool, options,
+                                            &stats)
+            .value();
+    checksum = 0.0;
+    for (double estimate : estimates) checksum += estimate;
+    Keep(checksum);
+  }
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["pair_draws"] = static_cast<double>(stats.pair_draws);
+  state.counters["expected_skyline_objects"] = checksum;
+}
+
 BENCHMARK(BM_Parallel_DetPlus)
     ->Arg(0)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond)->Iterations(1);
 BENCHMARK(BM_Parallel_AllWorlds)
     ->Arg(0)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_Parallel_BlockSam)
+    ->Arg(0)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_Parallel_BatchSam)
+    ->Arg(0)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::printf("== Extension: thread scaling of Det+ (per-group) and "
-              "all-objects sampling (per-chunk); arg = worker threads, "
-              "0 = inline ==\n");
+  std::printf("== Extension: thread scaling of Det+ (per-group), "
+              "all-objects sampling (per-chunk), and block Sam "
+              "(per-world-block); arg = worker threads, 0 = inline ==\n");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/core/monte_carlo.h"
+#include "src/core/sam_parallel.h"
 #include "src/util/random.h"
 
 namespace skypref {
@@ -25,7 +26,8 @@ double BernsteinRadius(double p_hat, std::uint64_t t, double delta_t) {
 
 Result<AdaptiveResult> AdaptiveMonteCarloSkylineProbability(
     const Dataset& data, ObjectId target, std::span<const ObjectId> candidates,
-    const PreferenceModel& model, const AdaptiveOptions& options) {
+    const PreferenceModel& model, ThreadPool& pool,
+    const AdaptiveOptions& options) {
   if (options.epsilon <= 0.0 || options.delta <= 0.0 ||
       options.delta >= 1.0) {
     return Status::InvalidArgument(
@@ -52,10 +54,14 @@ Result<AdaptiveResult> AdaptiveMonteCarloSkylineProbability(
     std::uint64_t draw = std::min(batch, cap - result.samples);
     batch_options.samples = draw;
     batch_options.seed = seeder.Fork();
+    // Each checkpoint batch runs through the block-deterministic parallel
+    // engine: worlds fan out over the pool, and the batch's estimate is
+    // bit-identical at every thread count, so the adaptive stopping time
+    // is too.
     SKYPREF_ASSIGN_OR_RETURN(
         MonteCarloResult mc,
-        MonteCarloSkylineProbability(data, target, candidates, model,
-                                     batch_options));
+        BlockMonteCarloSkylineProbability(data, target, candidates, model,
+                                          pool, batch_options));
     successes += mc.skyline_worlds;
     result.samples += mc.samples;
     result.estimate =
@@ -77,13 +83,29 @@ Result<AdaptiveResult> AdaptiveMonteCarloSkylineProbability(
 
 Result<AdaptiveResult> AdaptiveMonteCarloSkylineProbability(
     const Dataset& data, ObjectId target, const PreferenceModel& model,
-    const AdaptiveOptions& options) {
+    ThreadPool& pool, const AdaptiveOptions& options) {
   std::vector<ObjectId> candidates;
   candidates.reserve(data.size() > 0 ? data.size() - 1 : 0);
   for (ObjectId id = 0; id < data.size(); ++id) {
     if (id != target) candidates.push_back(id);
   }
   return AdaptiveMonteCarloSkylineProbability(data, target, candidates, model,
+                                              pool, options);
+}
+
+Result<AdaptiveResult> AdaptiveMonteCarloSkylineProbability(
+    const Dataset& data, ObjectId target, std::span<const ObjectId> candidates,
+    const PreferenceModel& model, const AdaptiveOptions& options) {
+  ThreadPool pool(0);  // inline execution, no worker threads
+  return AdaptiveMonteCarloSkylineProbability(data, target, candidates, model,
+                                              pool, options);
+}
+
+Result<AdaptiveResult> AdaptiveMonteCarloSkylineProbability(
+    const Dataset& data, ObjectId target, const PreferenceModel& model,
+    const AdaptiveOptions& options) {
+  ThreadPool pool(0);  // inline execution, no worker threads
+  return AdaptiveMonteCarloSkylineProbability(data, target, model, pool,
                                               options);
 }
 

@@ -17,6 +17,12 @@
 /// adaptive stop typically saves an order of magnitude of worlds — the
 /// natural upgrade of Algorithm 2, evaluated in bench_adaptive.
 ///
+/// Each checkpoint batch draws its worlds through the block-deterministic
+/// parallel engine (src/core/sam_parallel.h), so batches fan out over a
+/// caller-supplied ThreadPool; the poolless overloads run the same engine
+/// inline and are bit-identical to the pool overloads at any thread
+/// count.
+///
 /// Guarantee accounting: the checkpoint tests spend delta/2 via a union
 /// bound over geometric checkpoints (delta_k = (delta/2) / (k (k+1))),
 /// and a final fixed-size fallback at HoeffdingSampleSize(eps, delta/2)
@@ -31,6 +37,7 @@
 #include "src/model/preference_model.h"
 #include "src/model/types.h"
 #include "src/util/status.h"
+#include "src/util/thread_pool.h"
 
 namespace skypref {
 
@@ -55,12 +62,24 @@ struct AdaptiveResult {
 
 /// Estimates sky(target) with |estimate - sky| <= epsilon with
 /// probability at least 1 - delta, stopping as early as the empirical
-/// Bernstein bound allows.
+/// Bernstein bound allows. Checkpoint batches run over \p pool.
+Result<AdaptiveResult> AdaptiveMonteCarloSkylineProbability(
+    const Dataset& data, ObjectId target, std::span<const ObjectId> candidates,
+    const PreferenceModel& model, ThreadPool& pool,
+    const AdaptiveOptions& options = {});
+
+/// Convenience wrapper over \p pool: all objects but the target.
+Result<AdaptiveResult> AdaptiveMonteCarloSkylineProbability(
+    const Dataset& data, ObjectId target, const PreferenceModel& model,
+    ThreadPool& pool, const AdaptiveOptions& options = {});
+
+/// Poolless overload (inline execution); bit-identical to the pool
+/// overload at any thread count.
 Result<AdaptiveResult> AdaptiveMonteCarloSkylineProbability(
     const Dataset& data, ObjectId target, std::span<const ObjectId> candidates,
     const PreferenceModel& model, const AdaptiveOptions& options = {});
 
-/// Convenience wrapper: all objects but the target.
+/// Poolless convenience wrapper: all objects but the target.
 Result<AdaptiveResult> AdaptiveMonteCarloSkylineProbability(
     const Dataset& data, ObjectId target, const PreferenceModel& model,
     const AdaptiveOptions& options = {});

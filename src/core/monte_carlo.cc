@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <unordered_map>
 #include <utility>
 
@@ -15,8 +16,15 @@ namespace skypref {
 
 std::uint64_t HoeffdingSampleSize(double epsilon, double delta) {
   if (epsilon <= 0.0 || delta <= 0.0 || delta >= 1.0) return 0;
-  double m = std::log(2.0 / delta) / (2.0 * epsilon * epsilon);
-  return static_cast<std::uint64_t>(std::ceil(m));
+  double m = std::ceil(std::log(2.0 / delta) / (2.0 * epsilon * epsilon));
+  // A tiny epsilon (1e-12 gives m ~ 1e24) overflows uint64, and casting
+  // a double at or beyond 2^64 is undefined behavior — saturate instead.
+  // static_cast<double>(UINT64_MAX) rounds up to exactly 2^64, so m below
+  // the limit is guaranteed castable.
+  constexpr double kLimit =
+      static_cast<double>(std::numeric_limits<std::uint64_t>::max());
+  if (!(m < kLimit)) return std::numeric_limits<std::uint64_t>::max();
+  return static_cast<std::uint64_t>(m);
 }
 
 double HoeffdingEpsilon(std::uint64_t samples, double delta) {
@@ -172,15 +180,26 @@ Result<MonteCarloResult> MonteCarloSkylineProbability(
   MonteCarloResult result;
   result.requested_samples = samples;
   std::uint64_t drawn = 0;
+  // Poll cadence: every 64 worlds OR every kPairDrawPollStride pair
+  // draws, whichever comes first. The world cadence alone let one group
+  // with enormous per-world cost (many candidates x dimensions) overshoot
+  // the deadline by 64 expensive worlds; the pair-draw stride bounds the
+  // work between polls by the finer unit. Cheap worlds never reach the
+  // stride between polls, preserving the historical min(64, samples)
+  // floor of truncated runs.
+  constexpr std::uint64_t kPairDrawPollStride = 8192;
+  std::uint64_t draws_at_last_poll = 0;
   for (std::uint64_t h = 0; h < samples; ++h) {
     if (sampler.SampleWorld(rng, options.lazy, &result.pair_draws)) {
       ++result.skyline_worlds;
     }
     drawn = h + 1;
-    // Poll every 64 worlds, after sampling, so a truncated run still
-    // carries at least min(64, samples) worlds and the estimate is
-    // always well-defined.
-    if ((drawn & 63) == 0 && drawn < samples) {
+    // Poll after sampling, so a truncated run always carries at least
+    // one world and the estimate is well-defined.
+    if (((drawn & 63) == 0 ||
+         result.pair_draws - draws_at_last_poll >= kPairDrawPollStride) &&
+        drawn < samples) {
+      draws_at_last_poll = result.pair_draws;
       if (options.cancel != nullptr && options.cancel->cancelled()) {
         return CancelledStatus();
       }

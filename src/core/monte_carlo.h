@@ -23,6 +23,21 @@
 /// a shared MonteCarloOptions::deadline) returns the PARTIAL result with
 /// its achieved sample count — an estimate with a wider Hoeffding bar,
 /// never a lost query — and a CancelToken aborts with Status::Cancelled.
+///
+/// Two engines implement the estimator (MonteCarloOptions::Engine,
+/// mirroring ExactOptions::Engine):
+///
+///  * kSerial — this file's single-stream loop, the paper's literal
+///    Algorithm 2;
+///  * kBlock  — the block-deterministic parallel engine of
+///    src/core/sam_parallel.h: the m worlds split into fixed-size
+///    blocks, each block draws from its own SplitSeed-derived stream
+///    through a flattened integer-threshold sampler, and blocks reduce
+///    in index order, so the estimate is bit-identical for every thread
+///    count (including under deadline truncation, which drops a
+///    deterministic block suffix). The batch estimator
+///    BatchMonteCarloSkylineProbabilities (also sam_parallel.h) shares
+///    each sampled world across ALL targets of an all-objects query.
 
 #include <cstdint>
 #include <span>
@@ -59,8 +74,10 @@ struct MonteCarloOptions {
   /// exact solver's limit, expiry is NOT an error: the loop returns the
   /// partial MonteCarloResult with its achieved sample count and
   /// truncated = true, so callers widen the error bar (HoeffdingEpsilon)
-  /// instead of losing the estimate. Checked every 64 worlds, so at
-  /// least min(64, samples) worlds are always drawn.
+  /// instead of losing the estimate. Checked every 64 worlds AND every
+  /// few thousand pair draws (so one group with enormous per-world cost
+  /// cannot overshoot the limit by 64 expensive worlds); at least
+  /// min(64, samples) worlds are always drawn.
   double time_limit_seconds = 0.0;
 
   /// A precomputed absolute deadline shared by several solves of one
@@ -73,6 +90,22 @@ struct MonteCarloOptions {
   /// returns Status::Cancelled — the answer is no longer wanted. Not
   /// owned; nullptr = not cancellable.
   const CancelToken* cancel = nullptr;
+
+  /// Which engine draws the worlds. Estimates are NOT bit-identical
+  /// between engines (each defines its own stream); each engine is
+  /// individually deterministic per seed, and kBlock is additionally
+  /// bit-identical for every thread count of the pool it runs on.
+  enum class Engine : std::uint8_t {
+    kSerial,  ///< single-stream loop in this file (Algorithm 2 verbatim)
+    kBlock,   ///< block-deterministic parallel engine (sam_parallel.h)
+  };
+  Engine engine = Engine::kSerial;
+
+  /// Worlds per block of the kBlock engine. Like
+  /// ParallelOptions::sample_chunks this is part of the NUMERIC
+  /// contract: the estimate depends on (seed, block_size) but never on
+  /// the thread count. Must be >= 1 for the kBlock engine.
+  std::uint64_t block_size = 1024;
 };
 
 struct MonteCarloResult {
@@ -95,7 +128,10 @@ struct MonteCarloResult {
 };
 
 /// Sample count demanded by Hoeffding for (epsilon, delta):
-/// ceil(ln(2/delta) / (2 epsilon^2)).
+/// ceil(ln(2/delta) / (2 epsilon^2)). Saturates at UINT64_MAX when the
+/// bound exceeds the representable range (epsilon around 1e-10 and
+/// below) — casting such a value to uint64 directly would be undefined
+/// behavior, not a big number.
 std::uint64_t HoeffdingSampleSize(double epsilon, double delta);
 
 /// The inverse: the epsilon that \p samples worlds certify at confidence

@@ -10,6 +10,7 @@
 #include "src/core/monte_carlo.h"
 #include "src/core/oracles.h"
 #include "src/core/partition.h"
+#include "src/core/sam_parallel.h"
 #include "src/util/check.h"
 #include "src/util/random.h"
 
@@ -56,17 +57,21 @@ std::vector<ExactAttempt> RunExactRung(
   return attempts;
 }
 
-// Rung 2 for one exhausted group. Returns an error only for
-// cancellation; deadline truncation keeps the partial estimate at its
-// widened Hoeffding bar.
+// Rung 2 for one exhausted group. Runs the block-deterministic parallel
+// engine: a group reaches this rung precisely because it is too big for
+// Det+, so its world blocks fan out over the pool — and the estimate is
+// bit-identical at every thread count, preserving the ladder's
+// determinism contract. Returns an error only for cancellation; deadline
+// truncation keeps the partial estimate at its widened Hoeffding bar.
 Result<GroupReport> RunSampledRung(const Dataset& data, ObjectId target,
                                    const std::vector<ObjectId>& group,
                                    const PreferenceModel& model,
                                    const MonteCarloOptions& mc_options,
-                                   SolveStats& stats) {
+                                   ThreadPool& pool, SolveStats& stats) {
   SKYPREF_ASSIGN_OR_RETURN(
       MonteCarloResult mc,
-      MonteCarloSkylineProbability(data, target, group, model, mc_options));
+      BlockMonteCarloSkylineProbability(data, target, group, model, pool,
+                                        mc_options));
   stats.samples_drawn += mc.samples;
   stats.pair_draws += mc.pair_draws;
   GroupReport report;
@@ -179,8 +184,10 @@ Result<ResilientResult> ResilientSkylineProbability(
     }
   }
 
-  // Rungs 2 and 3, serially in partition order so the forked seeds (and
-  // therefore the estimates) are deterministic given the exhaustion set.
+  // Rungs 2 and 3, in partition order so the forked seeds (and therefore
+  // the estimates) are deterministic given the exhaustion set. Each
+  // sampled rung internally fans its world blocks out over the pool; the
+  // block engine keeps the estimate bit-identical per thread count.
   MonteCarloOptions mc_options = options.solver.monte_carlo;
   if (exhausted > 0) {
     if (mc_options.samples == 0) {
@@ -218,7 +225,7 @@ Result<ResilientResult> ResilientSkylineProbability(
         MonteCarloOptions per_group = mc_options;
         per_group.seed = seeder.Fork();
         Result<GroupReport> rung = RunSampledRung(data, target, groups[g],
-                                                  model, per_group,
+                                                  model, per_group, pool,
                                                   result.stats);
         if (rung.ok()) {
           report.quality = rung->quality;

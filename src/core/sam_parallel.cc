@@ -1,0 +1,618 @@
+#include "src/core/sam_parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <unordered_map>
+#include <utility>
+
+#include "src/core/absorption.h"
+#include "src/core/dominance.h"
+#include "src/core/partition.h"
+#include "src/util/check.h"
+#include "src/util/failpoint.h"
+#include "src/util/hash.h"
+#include "src/util/random.h"
+
+namespace skypref {
+
+namespace {
+
+/// Same poll cadence as the serial engine (monte_carlo.cc): every 64
+/// worlds or every this many pair draws, whichever comes first.
+constexpr std::uint64_t kPairDrawPollStride = 8192;
+
+// -------------------------------------------------------------------------
+// Layer 1: the flat sampler
+// -------------------------------------------------------------------------
+
+/// The single-target instance flattened for the world loop, mirroring the
+/// exact engine's FlatInstance: distinct (dim, value) preference pairs
+/// become integer Bernoulli thresholds and each candidate owns a CSR
+/// slice of pair ids, in checking-sequence order.
+struct FlatSamInstance {
+  std::vector<std::uint64_t> thresholds;  // per distinct pair
+  std::vector<std::uint32_t> pair_ids;    // CSR payload
+  std::vector<std::uint32_t> offsets;     // per candidate, size count+1
+
+  std::size_t candidate_count() const { return offsets.size() - 1; }
+  std::size_t pair_count() const { return thresholds.size(); }
+};
+
+FlatSamInstance BuildFlatSamInstance(const Dataset& data, ObjectId target,
+                                     std::span<const ObjectId> candidates,
+                                     const PreferenceModel& model) {
+  const DimensionId d = static_cast<DimensionId>(data.dimensions());
+  FlatSamInstance inst;
+  std::unordered_map<std::pair<DimensionId, ValueId>, std::uint32_t, PairHash>
+      pair_index;
+  inst.offsets.reserve(candidates.size() + 1);
+  inst.offsets.push_back(0);
+  for (ObjectId id : candidates) {
+    for (DimensionId j = 0; j < d; ++j) {
+      ValueId v = data.value(id, j);
+      ValueId o = data.value(target, j);
+      if (v == o) continue;
+      auto [it, inserted] = pair_index.try_emplace(
+          {j, v}, static_cast<std::uint32_t>(inst.thresholds.size()));
+      if (inserted) {
+        double less_eq = model.LessEq(j, v, o);
+        // Every threshold the sampler will ever compare against encodes a
+        // model probability; catch a broken model before it skews
+        // thousands of worlds.
+        SKYPREF_DCHECK_PROB(less_eq);
+        inst.thresholds.push_back(internal::BernoulliThreshold(less_eq));
+      }
+      inst.pair_ids.push_back(it->second);
+    }
+    inst.offsets.push_back(static_cast<std::uint32_t>(inst.pair_ids.size()));
+  }
+  return inst;
+}
+
+/// Per-block mutable sampling state: pair outcomes memoized per world
+/// with epoch stamps (no per-world clearing). Each block owns its state —
+/// worlds never share outcomes across blocks.
+struct SamWorldState {
+  explicit SamWorldState(std::size_t pairs)
+      : epoch_mark(pairs, 0), outcome(pairs, 0) {}
+
+  std::vector<std::uint64_t> epoch_mark;
+  std::vector<std::uint8_t> outcome;
+  std::uint64_t epoch = 0;
+};
+
+/// Samples one world; returns true iff the target survives. Lazy mode
+/// draws pair outcomes on demand and abandons the world at the first
+/// dominator, exactly like the serial WorldSampler.
+bool SampleFlatWorld(const FlatSamInstance& inst, SamWorldState& state,
+                     Rng& rng, bool lazy, std::uint64_t* pair_draws) {
+  ++state.epoch;
+  if (!lazy) {
+    for (std::uint32_t p = 0; p < inst.thresholds.size(); ++p) {
+      state.outcome[p] =
+          internal::ThresholdHit(rng.NextUint64(), inst.thresholds[p]) ? 1 : 0;
+      state.epoch_mark[p] = state.epoch;
+      ++*pair_draws;
+    }
+  }
+  const std::size_t count = inst.candidate_count();
+  for (std::size_t c = 0; c < count; ++c) {
+    const std::uint32_t begin = inst.offsets[c];
+    const std::uint32_t end = inst.offsets[c + 1];
+    bool dominates = true;
+    for (std::uint32_t i = begin; i < end; ++i) {
+      const std::uint32_t p = inst.pair_ids[i];
+      if (state.epoch_mark[p] != state.epoch) {
+        state.epoch_mark[p] = state.epoch;
+        state.outcome[p] =
+            internal::ThresholdHit(rng.NextUint64(), inst.thresholds[p]) ? 1
+                                                                         : 0;
+        ++*pair_draws;
+      }
+      if (state.outcome[p] == 0) {
+        dominates = false;
+        break;
+      }
+    }
+    // A candidate with no differing dimension would be a duplicate of the
+    // target; Dataset::Validate rejects those, but be conservative.
+    if (dominates && end > begin) return false;
+  }
+  return true;
+}
+
+// -------------------------------------------------------------------------
+// Layer 2: the block-deterministic runner
+// -------------------------------------------------------------------------
+
+/// What one block reported. `achieved`/`draws` of an incomplete block
+/// are nonzero only for block 0 (which keeps its partial prefix); every
+/// other stopped block discards its partial work so that the reduced
+/// estimate is a pure function of the counted block prefix.
+struct BlockOutcome {
+  std::uint64_t achieved = 0;
+  std::uint64_t draws = 0;
+  bool complete = false;
+};
+
+/// The counted block prefix [0, end) and whether truncation happened.
+struct BlockPrefix {
+  std::uint64_t end = 0;
+  bool truncated = false;
+};
+
+/// Applies the truncation contract: T = first incomplete block; blocks
+/// past T never count, even when they finished. T == 0 still counts
+/// block 0's kept partial prefix (a truncated run always carries at
+/// least one world).
+BlockPrefix CountedPrefix(const std::vector<BlockOutcome>& outcomes) {
+  std::uint64_t t = outcomes.size();
+  for (std::uint64_t b = 0; b < outcomes.size(); ++b) {
+    if (!outcomes[b].complete) {
+      t = b;
+      break;
+    }
+  }
+  if (t == outcomes.size()) return {t, false};
+  return {std::max<std::uint64_t>(t, 1), true};
+}
+
+/// Fans `samples` worlds out over `pool` in fixed blocks of `block_size`.
+/// `make_block(b)` builds block b's world closure (owning any per-block
+/// state); the closure is then called once per world with block b's
+/// private SplitSeed(seed, b) Rng. Deterministic per (seed, block_size)
+/// at every thread count; see the header's truncation contract.
+/// Returns Cancelled when any block observes a tripped token.
+template <typename MakeBlockFn>
+Status RunDeterministicBlocks(ThreadPool& pool, std::uint64_t samples,
+                              std::uint64_t block_size, std::uint64_t seed,
+                              const Deadline& deadline,
+                              const CancelToken* cancel,
+                              std::vector<BlockOutcome>& outcomes,
+                              MakeBlockFn&& make_block) {
+  const std::uint64_t num_blocks = (samples + block_size - 1) / block_size;
+  outcomes.assign(num_blocks, BlockOutcome{});
+
+  // The "sampler.block" failpoint is consumed SERIALLY over the block
+  // indices before dispatch, so "fires on hit k" poisons block k at every
+  // thread count (the deterministic-checkpoint placement rule of
+  // failpoint.h). Block 0 is exempt: the reduced estimate always keeps at
+  // least block 0's prefix.
+  std::uint64_t poisoned = num_blocks;
+  for (std::uint64_t b = 1; b < num_blocks; ++b) {
+    if (SKYPREF_FAILPOINT("sampler.block")) {
+      poisoned = b;
+      break;
+    }
+  }
+
+  // First block known to be stopped or poisoned. Later blocks use it to
+  // skip work the prefix rule would discard anyway; skipping never
+  // changes the counted prefix, because a skipped block is strictly
+  // after the first stopped one.
+  std::atomic<std::uint64_t> first_stop(poisoned);
+  std::atomic<bool> cancelled(false);
+
+  pool.ParallelFor(static_cast<std::size_t>(num_blocks), [&](std::size_t bi) {
+    const std::uint64_t b = static_cast<std::uint64_t>(bi);
+    if (b > 0 && b >= first_stop.load(std::memory_order_relaxed)) return;
+    const std::uint64_t begin = b * block_size;
+    const std::uint64_t want = std::min(block_size, samples - begin);
+    Rng rng(SplitSeed(seed, b));
+    auto world = make_block(b);
+    BlockOutcome& out = outcomes[b];
+    std::uint64_t draws_at_last_poll = 0;
+    for (std::uint64_t h = 0; h < want; ++h) {
+      world(rng, &out.draws);
+      out.achieved = h + 1;
+      // Poll after sampling (serial cadence), so block 0's kept prefix is
+      // never empty and a cheap block never pays a clock read per world.
+      if (((out.achieved & 63) == 0 ||
+           out.draws - draws_at_last_poll >= kPairDrawPollStride) &&
+          out.achieved < want) {
+        draws_at_last_poll = out.draws;
+        if (cancel != nullptr && cancel->cancelled()) {
+          cancelled.store(true, std::memory_order_relaxed);
+          return;
+        }
+        if (deadline.Expired()) {
+          std::uint64_t cur = first_stop.load(std::memory_order_relaxed);
+          while (b < cur && !first_stop.compare_exchange_weak(
+                                cur, b, std::memory_order_relaxed)) {
+          }
+          if (b > 0) {
+            // A mid-block partial of a later block is timing-dependent;
+            // discard it entirely — the prefix rule drops block b anyway.
+            out.achieved = 0;
+            out.draws = 0;
+          }
+          return;
+        }
+      }
+    }
+    out.complete = true;
+  });
+
+  if (cancelled.load(std::memory_order_relaxed)) return CancelledStatus();
+  return Status::OK();
+}
+
+}  // namespace
+
+// -------------------------------------------------------------------------
+// Single-target block engine
+// -------------------------------------------------------------------------
+
+Result<MonteCarloResult> BlockMonteCarloSkylineProbability(
+    const Dataset& data, ObjectId target, std::span<const ObjectId> candidates,
+    const PreferenceModel& model, ThreadPool& pool,
+    const MonteCarloOptions& options) {
+  if (target >= data.size()) {
+    return Status::OutOfRange("target object out of range");
+  }
+  for (ObjectId id : candidates) {
+    if (id >= data.size()) {
+      return Status::OutOfRange("candidate object out of range");
+    }
+    if (id == target) {
+      return Status::InvalidArgument(
+          "candidate list must not contain the target object");
+    }
+  }
+  std::uint64_t samples = options.samples != 0
+                              ? options.samples
+                              : HoeffdingSampleSize(options.epsilon,
+                                                    options.delta);
+  if (samples == 0) {
+    return Status::InvalidArgument(
+        "Monte Carlo needs samples > 0 (or valid epsilon/delta)");
+  }
+  if (options.block_size == 0) {
+    return Status::InvalidArgument("block engine needs block_size >= 1");
+  }
+
+  // Algorithm 2 line 1, shared by every block's worlds.
+  std::vector<ObjectId> ordered(candidates.begin(), candidates.end());
+  if (options.sort_by_dominance) {
+    std::vector<std::pair<double, ObjectId>> keyed;
+    keyed.reserve(ordered.size());
+    for (ObjectId id : ordered) {
+      keyed.emplace_back(DominanceProbability(data, id, target, model), id);
+    }
+    std::stable_sort(keyed.begin(), keyed.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first > b.first;
+                     });
+    for (std::size_t i = 0; i < keyed.size(); ++i) ordered[i] = keyed[i].second;
+  }
+
+  Deadline deadline = options.deadline.has_value()
+                          ? options.deadline
+                          : Deadline::After(options.time_limit_seconds);
+  if (options.cancel != nullptr && options.cancel->cancelled()) {
+    return CancelledStatus();
+  }
+
+  FlatSamInstance inst =
+      BuildFlatSamInstance(data, target, ordered, model);
+  const std::uint64_t num_blocks =
+      (samples + options.block_size - 1) / options.block_size;
+  std::vector<std::uint64_t> survived(num_blocks, 0);
+  std::vector<BlockOutcome> outcomes;
+  const bool lazy = options.lazy;
+  SKYPREF_RETURN_IF_ERROR(RunDeterministicBlocks(
+      pool, samples, options.block_size, options.seed, deadline,
+      options.cancel, outcomes, [&](std::uint64_t b) {
+        return [&inst, &survived, b, lazy,
+                state = SamWorldState(inst.pair_count())](
+                   Rng& rng, std::uint64_t* draws) mutable {
+          if (SampleFlatWorld(inst, state, rng, lazy, draws)) ++survived[b];
+        };
+      }));
+
+  const BlockPrefix prefix = CountedPrefix(outcomes);
+  MonteCarloResult result;
+  result.requested_samples = samples;
+  result.truncated = prefix.truncated;
+  for (std::uint64_t b = 0; b < prefix.end; ++b) {
+    result.samples += outcomes[b].achieved;
+    result.pair_draws += outcomes[b].draws;
+    result.skyline_worlds += survived[b];
+  }
+  result.estimate = static_cast<double>(result.skyline_worlds) /
+                    static_cast<double>(result.samples);
+  SKYPREF_DCHECK(result.skyline_worlds <= result.samples);
+  SKYPREF_DCHECK_PROB(result.estimate);
+  return result;
+}
+
+Result<MonteCarloResult> BlockMonteCarloSkylineProbability(
+    const Dataset& data, ObjectId target, const PreferenceModel& model,
+    ThreadPool& pool, const MonteCarloOptions& options) {
+  std::vector<ObjectId> candidates;
+  candidates.reserve(data.size() > 0 ? data.size() - 1 : 0);
+  for (ObjectId id = 0; id < data.size(); ++id) {
+    if (id != target) candidates.push_back(id);
+  }
+  return BlockMonteCarloSkylineProbability(data, target, candidates, model,
+                                           pool, options);
+}
+
+// -------------------------------------------------------------------------
+// Layer 3: batch Sam
+// -------------------------------------------------------------------------
+
+namespace {
+
+struct TernaryPairKey {
+  DimensionId dim;
+  ValueId lo;
+  ValueId hi;
+  bool operator==(const TernaryPairKey& o) const {
+    return dim == o.dim && lo == o.lo && hi == o.hi;
+  }
+};
+
+struct TernaryPairKeyHash {
+  std::size_t operator()(const TernaryPairKey& k) const {
+    std::size_t h = HashCombine(std::size_t{0x5a3ba7c4}, k.dim);
+    h = HashCombine(h, k.lo);
+    return HashCombine(h, k.hi);
+  }
+};
+
+/// Ternary orientation outcomes, stored per pair per world.
+constexpr std::uint8_t kLoPreferred = 0;
+constexpr std::uint8_t kHiPreferred = 1;
+constexpr std::uint8_t kIncomparable = 2;
+
+/// The whole batch flattened: a global table of ternary orientation
+/// variables (two integer cuts each: draw below cut_lo means lo
+/// preferred, else below cut_hi means hi preferred, else incomparable)
+/// plus a two-level CSR — per target a slice of candidate slots, per
+/// slot a slice of packed requirements (pair_index << 1 | want_hi).
+/// Candidates are in descending dominance-probability order per target.
+struct BatchPlan {
+  std::vector<std::uint64_t> cut_lo;
+  std::vector<std::uint64_t> cut_hi;
+  std::vector<std::uint32_t> reqs;
+  std::vector<std::uint32_t> req_offsets;   // per candidate slot, slots+1
+  std::vector<std::uint32_t> target_begin;  // per target, n+1, slot indices
+
+  std::size_t pair_count() const { return cut_lo.size(); }
+};
+
+/// Per-block mutable state of the batch sampler.
+struct BatchWorldState {
+  explicit BatchWorldState(std::size_t pairs)
+      : epoch_mark(pairs, 0), outcome(pairs, kIncomparable) {}
+
+  std::vector<std::uint64_t> epoch_mark;
+  std::vector<std::uint8_t> outcome;
+  std::uint64_t epoch = 0;
+};
+
+/// True iff \p target survives the current world. Orientations are drawn
+/// lazily and memoized per world, so every target of the world sees the
+/// same sampled preference — the consistency that makes shared worlds
+/// valid (all_worlds.h).
+bool BatchSurvives(const BatchPlan& plan, BatchWorldState& state,
+                   ObjectId target, Rng& rng, std::uint64_t* pair_draws) {
+  const std::uint32_t begin = plan.target_begin[target];
+  const std::uint32_t end = plan.target_begin[target + 1];
+  for (std::uint32_t slot = begin; slot < end; ++slot) {
+    bool dominates = true;
+    const std::uint32_t rb = plan.req_offsets[slot];
+    const std::uint32_t re = plan.req_offsets[slot + 1];
+    for (std::uint32_t r = rb; r < re; ++r) {
+      const std::uint32_t packed = plan.reqs[r];
+      const std::uint32_t p = packed >> 1;
+      const std::uint8_t want = static_cast<std::uint8_t>(packed & 1);
+      if (state.epoch_mark[p] != state.epoch) {
+        state.epoch_mark[p] = state.epoch;
+        const std::uint64_t u = rng.NextUint64();
+        state.outcome[p] = internal::ThresholdHit(u, plan.cut_lo[p])
+                               ? kLoPreferred
+                               : (internal::ThresholdHit(u, plan.cut_hi[p])
+                                      ? kHiPreferred
+                                      : kIncomparable);
+        ++*pair_draws;
+      }
+      if (state.outcome[p] != want) {
+        dominates = false;
+        break;
+      }
+    }
+    if (dominates) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<std::vector<double>> BatchMonteCarloSkylineProbabilities(
+    const Dataset& data, const PreferenceModel& model, ThreadPool& pool,
+    const SolverOptions& options, BatchSamStats* stats) {
+  SKYPREF_RETURN_IF_ERROR(data.Validate());
+  SKYPREF_RETURN_IF_ERROR(model.Validate(data));
+  const std::size_t n = data.size();
+  const MonteCarloOptions& mc = options.monte_carlo;
+  std::uint64_t samples = mc.samples != 0
+                              ? mc.samples
+                              : HoeffdingSampleSize(mc.epsilon, mc.delta);
+  if (samples == 0) {
+    return Status::InvalidArgument(
+        "Monte Carlo needs samples > 0 (or valid epsilon/delta)");
+  }
+  if (mc.block_size == 0) {
+    return Status::InvalidArgument("block engine needs block_size >= 1");
+  }
+  Deadline deadline = mc.deadline.has_value()
+                          ? mc.deadline
+                          : Deadline::After(mc.time_limit_seconds);
+  if (mc.cancel != nullptr && mc.cancel->cancelled()) {
+    return CancelledStatus();
+  }
+
+  BatchSamStats local;
+  local.targets = n;
+  local.requested_samples = samples;
+
+  // Phase A: absorption + partition per target, sharing the global
+  // posting lists, exactly as in the batch exact solver. Absorption is
+  // pure win for the sampler too — an absorbed candidate's dominance
+  // event is contained in its absorber's, so dropping it changes no
+  // world's verdict.
+  std::vector<std::vector<std::vector<ObjectId>>> groups(n);
+  if (options.preprocess) {
+    ValuePostings postings(data);
+    constexpr std::size_t kChunk = 16;
+    const std::size_t chunks = (n + kChunk - 1) / kChunk;
+    pool.ParallelFor(chunks, [&](std::size_t c) {
+      PartitionWorkspace workspace;
+      const std::size_t begin = c * kChunk;
+      const std::size_t end = std::min(n, begin + kChunk);
+      for (ObjectId t = begin; t < end; ++t) {
+        std::vector<ObjectId> candidates =
+            AbsorbAllCandidatesIndexed(data, t, postings);
+        groups[t] = PartitionCandidates(
+            data, t, std::span<const ObjectId>(candidates), workspace);
+      }
+    });
+  } else {
+    for (ObjectId t = 0; t < n; ++t) {
+      std::vector<ObjectId> candidates;
+      candidates.reserve(n - 1);
+      for (ObjectId id = 0; id < n; ++id) {
+        if (id != t) candidates.push_back(id);
+      }
+      groups[t].push_back(std::move(candidates));
+    }
+  }
+  for (ObjectId t = 0; t < n; ++t) {
+    std::size_t after = 0;
+    for (const auto& group : groups[t]) {
+      after += group.size();
+      local.largest_group = std::max(local.largest_group, group.size());
+    }
+    local.groups += groups[t].size();
+    local.absorbed += (n - 1) - after;
+  }
+
+  // Phase B: one global table of ternary orientation variables, interned
+  // by canonical (dim, lo, hi), shared by every target's plan — the
+  // world-sharing that turns targets x worlds x pairs draws into
+  // worlds x distinct-pairs. Serial: this interning IS the work being
+  // deduplicated across targets.
+  const DimensionId d = static_cast<DimensionId>(data.dimensions());
+  BatchPlan plan;
+  std::unordered_map<TernaryPairKey, std::uint32_t, TernaryPairKeyHash>
+      pair_index;
+  plan.target_begin.reserve(n + 1);
+  plan.target_begin.push_back(0);
+  plan.req_offsets.push_back(0);
+  struct PlanCandidate {
+    double dominance = 1.0;
+    std::vector<std::uint32_t> reqs;
+  };
+  std::vector<PlanCandidate> per_target;
+  for (ObjectId t = 0; t < n; ++t) {
+    per_target.clear();
+    for (const auto& group : groups[t]) {
+      for (ObjectId c : group) {
+        PlanCandidate cand;
+        bool possible = true;
+        for (DimensionId j = 0; j < d && possible; ++j) {
+          ValueId vc = data.value(c, j);
+          ValueId vt = data.value(t, j);
+          if (vc == vt) continue;
+          ValueId lo = std::min(vc, vt);
+          ValueId hi = std::max(vc, vt);
+          PrefPair pair = model.GetPair(j, lo, hi);
+          double toward_candidate = vc == lo ? pair.less : pair.greater;
+          // Exact-zero test: Pr = 0 means the orientation can never be
+          // drawn, so the candidate is pruned from the sampling plan.
+          if (toward_candidate == 0.0) {  // skypref-lint: allow(float-eq)
+            possible = false;
+            break;
+          }
+          cand.dominance *= toward_candidate;
+          auto [it, inserted] = pair_index.try_emplace(
+              TernaryPairKey{j, lo, hi},
+              static_cast<std::uint32_t>(plan.cut_lo.size()));
+          if (inserted) {
+            SKYPREF_DCHECK_PROB(pair.less);
+            SKYPREF_DCHECK_PROB(pair.less + pair.greater);
+            plan.cut_lo.push_back(internal::BernoulliThreshold(pair.less));
+            plan.cut_hi.push_back(internal::BernoulliThreshold(
+                std::min(pair.less + pair.greater, 1.0)));
+          }
+          cand.reqs.push_back((it->second << 1) |
+                              (vc == hi ? 1u : 0u));
+        }
+        if (!possible) {
+          ++local.pruned_candidates;
+          continue;
+        }
+        // A candidate with no differing dimension would duplicate the
+        // target; Dataset::Validate guarantees that cannot happen.
+        if (!cand.reqs.empty()) per_target.push_back(std::move(cand));
+      }
+    }
+    // Algorithm 2 line 1 per target: most probable dominators first.
+    std::stable_sort(per_target.begin(), per_target.end(),
+                     [](const PlanCandidate& a, const PlanCandidate& b) {
+                       return a.dominance > b.dominance;
+                     });
+    for (PlanCandidate& cand : per_target) {
+      plan.reqs.insert(plan.reqs.end(), cand.reqs.begin(), cand.reqs.end());
+      plan.req_offsets.push_back(static_cast<std::uint32_t>(plan.reqs.size()));
+    }
+    plan.target_begin.push_back(
+        static_cast<std::uint32_t>(plan.req_offsets.size() - 1));
+  }
+  local.distinct_pairs = plan.pair_count();
+
+  // Phase C: the shared world stream, fanned out in deterministic blocks
+  // (same runner, same "sampler.block" failpoint, same truncation
+  // contract as the single-target engine). Each block owns its memo
+  // state and its per-target counters; the reduce sums the counted block
+  // prefix in index order.
+  const std::uint64_t num_blocks =
+      (samples + mc.block_size - 1) / mc.block_size;
+  std::vector<std::vector<std::uint64_t>> survived(
+      num_blocks, std::vector<std::uint64_t>(n, 0));
+  std::vector<BlockOutcome> outcomes;
+  SKYPREF_RETURN_IF_ERROR(RunDeterministicBlocks(
+      pool, samples, mc.block_size, mc.seed, deadline, mc.cancel, outcomes,
+      [&](std::uint64_t b) {
+        return [&plan, counts = survived[b].data(), n,
+                state = BatchWorldState(plan.pair_count())](
+                   Rng& rng, std::uint64_t* draws) mutable {
+          ++state.epoch;
+          for (ObjectId t = 0; t < n; ++t) {
+            if (BatchSurvives(plan, state, t, rng, draws)) ++counts[t];
+          }
+        };
+      }));
+
+  const BlockPrefix prefix = CountedPrefix(outcomes);
+  local.truncated = prefix.truncated;
+  for (std::uint64_t b = 0; b < prefix.end; ++b) {
+    local.samples += outcomes[b].achieved;
+    local.pair_draws += outcomes[b].draws;
+  }
+  std::vector<double> estimates(n, 0.0);
+  for (ObjectId t = 0; t < n; ++t) {
+    std::uint64_t hits = 0;
+    for (std::uint64_t b = 0; b < prefix.end; ++b) hits += survived[b][t];
+    estimates[t] =
+        static_cast<double>(hits) / static_cast<double>(local.samples);
+    SKYPREF_DCHECK_PROB(estimates[t]);
+  }
+  if (stats != nullptr) *stats = local;
+  return estimates;
+}
+
+}  // namespace skypref

@@ -5,10 +5,36 @@
 #include "src/core/absorption.h"
 #include "src/core/dominance.h"
 #include "src/core/partition.h"
+#include "src/core/sam_parallel.h"
 #include "src/util/check.h"
 #include "src/util/random.h"
 
 namespace skypref {
+
+namespace {
+
+/// One Sam solve through the configured engine. The kSerial engine never
+/// touches the pool; the kBlock engine fans out over \p pool, or an
+/// inline pool when the caller has none (bit-identical either way).
+Result<MonteCarloResult> RunSamEngine(const Dataset& data, ObjectId target,
+                                      std::span<const ObjectId> candidates,
+                                      const PreferenceModel& model,
+                                      ThreadPool* pool,
+                                      const MonteCarloOptions& options) {
+  if (options.engine == MonteCarloOptions::Engine::kBlock) {
+    if (pool != nullptr) {
+      return BlockMonteCarloSkylineProbability(data, target, candidates,
+                                               model, *pool, options);
+    }
+    ThreadPool inline_pool(0);
+    return BlockMonteCarloSkylineProbability(data, target, candidates, model,
+                                             inline_pool, options);
+  }
+  return MonteCarloSkylineProbability(data, target, candidates, model,
+                                      options);
+}
+
+}  // namespace
 
 Result<SkylineSolver> SkylineSolver::Create(const Dataset& data,
                                             const PreferenceModel& model) {
@@ -79,6 +105,20 @@ Result<double> SkylineSolver::Exact(ObjectId target,
 Result<double> SkylineSolver::MonteCarlo(ObjectId target,
                                          const SolverOptions& options,
                                          SolveStats* stats) const {
+  return MonteCarloImpl(target, options, nullptr, stats);
+}
+
+Result<double> SkylineSolver::MonteCarlo(ObjectId target,
+                                         const SolverOptions& options,
+                                         ThreadPool& pool,
+                                         SolveStats* stats) const {
+  return MonteCarloImpl(target, options, &pool, stats);
+}
+
+Result<double> SkylineSolver::MonteCarloImpl(ObjectId target,
+                                             const SolverOptions& options,
+                                             ThreadPool* pool,
+                                             SolveStats* stats) const {
   if (target >= data_->size()) {
     return Status::OutOfRange("target object out of range");
   }
@@ -93,8 +133,8 @@ Result<double> SkylineSolver::MonteCarlo(ObjectId target,
     local.group_sizes.assign(1, candidates.size());
     SKYPREF_ASSIGN_OR_RETURN(
         MonteCarloResult mc,
-        MonteCarloSkylineProbability(*data_, target, candidates, *model_,
-                                     options.monte_carlo));
+        RunSamEngine(*data_, target, candidates, *model_, pool,
+                     options.monte_carlo));
     local.samples_drawn = mc.samples;
     local.pair_draws = mc.pair_draws;
     if (stats != nullptr) *stats = local;
@@ -135,8 +175,7 @@ Result<double> SkylineSolver::MonteCarlo(ObjectId target,
       per_group.seed = seeder.Fork();
       SKYPREF_ASSIGN_OR_RETURN(
           MonteCarloResult mc,
-          MonteCarloSkylineProbability(*data_, target, *group, *model_,
-                                       per_group));
+          RunSamEngine(*data_, target, *group, *model_, pool, per_group));
       local.samples_drawn += mc.samples;
       local.pair_draws += mc.pair_draws;
       SKYPREF_DCHECK_PROB(mc.estimate);

@@ -64,8 +64,18 @@ class SkylineSolver {
   Result<double> Exact(ObjectId target, const SolverOptions& options = {},
                        SolveStats* stats = nullptr) const;
 
-  /// Sam / Sam+: (epsilon, delta)-approximate sky(target).
+  /// Sam / Sam+: (epsilon, delta)-approximate sky(target). Dispatches on
+  /// options.monte_carlo.engine; the kBlock engine runs over an inline
+  /// pool here (bit-identical to the pool overload at any thread count).
   Result<double> MonteCarlo(ObjectId target, const SolverOptions& options = {},
+                            SolveStats* stats = nullptr) const;
+
+  /// Sam / Sam+ over \p pool: with the kBlock engine the per-group world
+  /// blocks fan out across the pool's workers; estimates stay
+  /// bit-identical to the poolless overload at every thread count (the
+  /// kSerial engine ignores the pool entirely).
+  Result<double> MonteCarlo(ObjectId target, const SolverOptions& options,
+                            ThreadPool& pool,
                             SolveStats* stats = nullptr) const;
 
   /// The independent-dominance baseline ("Sac"), for comparison only.
@@ -79,6 +89,11 @@ class SkylineSolver {
       : data_(&data), model_(&model) {}
 
   std::vector<ObjectId> AllCandidates(ObjectId target) const;
+
+  /// Shared Sam body; \p pool is null for the poolless overload (the
+  /// kBlock engine then runs inline).
+  Result<double> MonteCarloImpl(ObjectId target, const SolverOptions& options,
+                                ThreadPool* pool, SolveStats* stats) const;
 
   const Dataset* data_;
   const PreferenceModel* model_;

@@ -34,6 +34,7 @@
 #include "src/core/parallel.h"         // IWYU pragma: export
 #include "src/core/partition.h"        // IWYU pragma: export
 #include "src/core/prob_skyline.h"     // IWYU pragma: export
+#include "src/core/sam_parallel.h"     // IWYU pragma: export
 #include "src/core/solver.h"           // IWYU pragma: export
 #include "src/core/subspace.h"         // IWYU pragma: export
 #include "src/core/tentative_approx.h" // IWYU pragma: export

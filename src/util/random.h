@@ -34,6 +34,18 @@ class SplitMix64 {
   std::uint64_t state_;
 };
 
+/// Derives the seed of sub-stream \p stream of a family rooted at
+/// \p seed: SplitMix64(seed ^ stream) advanced one step. Used by the
+/// block-parallel samplers to give every fixed-index world block its own
+/// statistically independent Rng, so the estimate depends on the block
+/// INDEX and never on the executing thread. The extra SplitMix64 round
+/// decorrelates the regular lattice seed^0, seed^1, seed^2, ... that
+/// plain XOR seeding would feed into neighbouring generators.
+inline std::uint64_t SplitSeed(std::uint64_t seed, std::uint64_t stream) {
+  SplitMix64 mixer(seed ^ stream);
+  return mixer.Next();
+}
+
 /// Xoshiro256++ by Blackman & Vigna: fast, 256-bit state, passes BigCrush.
 class Rng {
  public:

@@ -2,6 +2,8 @@
 
 #include <chrono>
 #include <cmath>
+#include <cstdint>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -24,6 +26,22 @@ TEST(HoeffdingTest, ShrinksWithLooserRequirements) {
   EXPECT_LT(HoeffdingSampleSize(0.05, 0.05), HoeffdingSampleSize(0.01, 0.01));
   EXPECT_EQ(HoeffdingSampleSize(-1.0, 0.5), 0u);
   EXPECT_EQ(HoeffdingSampleSize(0.1, 0.0), 0u);
+}
+
+TEST(HoeffdingTest, TinyEpsilonSaturatesInsteadOfOverflowing) {
+  // epsilon = 1e-12 demands ~1e24 samples — far beyond uint64. Casting a
+  // double above UINT64_MAX is undefined behavior, so the bound must
+  // saturate, not wrap or trap.
+  const std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  EXPECT_EQ(HoeffdingSampleSize(1e-12, 0.01), kMax);
+  EXPECT_EQ(HoeffdingSampleSize(1e-300, 0.5), kMax);
+  // Saturation kicks in exactly when the real bound leaves the integer
+  // range; a merely-large epsilon still computes the true ceiling.
+  EXPECT_LT(HoeffdingSampleSize(1e-6, 0.01), kMax);
+  // Monotonicity survives the clamp: tighter epsilon never asks for
+  // fewer samples.
+  EXPECT_LE(HoeffdingSampleSize(1e-6, 0.01), HoeffdingSampleSize(1e-9, 0.01));
+  EXPECT_LE(HoeffdingSampleSize(1e-9, 0.01), HoeffdingSampleSize(1e-12, 0.01));
 }
 
 TEST(MonteCarloTest, ConvergesToFigure1Truth) {

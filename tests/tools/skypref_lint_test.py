@@ -90,6 +90,41 @@ class NoRawRandomRule(LintHarness):
         self.write("src/core/x.cc", "int F() { return operand(3); }\n")
         self.assertEqual(self.rules("src/core/x.cc"), [])
 
+    def test_splitmix_construction_flagged_outside_util(self):
+        self.write("src/core/x.cc",
+                   "void F(uint64_t s) { SplitMix64 mixer(s ^ 7); }\n")
+        self.assertIn("no-raw-random", self.rules("src/core/x.cc"))
+
+    def test_xoshiro_construction_flagged_outside_util(self):
+        self.write("src/model/x.cc",
+                   "void F() { Xoshiro256PlusPlus gen{1, 2, 3, 4}; }\n")
+        self.assertIn("no-raw-random", self.rules("src/model/x.cc"))
+
+    def test_prng_construction_allowed_in_util(self):
+        self.write("src/util/hash.cc",
+                   "void F(uint64_t s) { SplitMix64 mixer(s); }\n")
+        self.assertEqual(self.rules("src/util/hash.cc"), [])
+
+    def test_prng_construction_allowed_in_sampler_engines(self):
+        body = "void F(uint64_t s) { SplitMix64 mixer(s); }\n"
+        self.write("src/core/monte_carlo.cc", body)
+        self.write("src/core/sam_parallel.cc", body)
+        self.assertEqual(self.rules("src/core/monte_carlo.cc"), [])
+        self.assertEqual(self.rules("src/core/sam_parallel.cc"), [])
+
+    def test_prng_mention_in_comment_ignored(self):
+        self.write("src/core/x.cc",
+                   "// seeded via SplitMix64(seed ^ b) upstream\n"
+                   "void F() {}\n")
+        self.assertEqual(self.rules("src/core/x.cc"), [])
+
+    def test_splitseed_helper_call_not_flagged(self):
+        # Deriving a sub-stream through the blessed helper is the fix the
+        # rule suggests; it must not itself trip the rule.
+        self.write("src/core/x.cc",
+                   "void F(uint64_t s) { Rng rng(SplitSeed(s, 3)); }\n")
+        self.assertEqual(self.rules("src/core/x.cc"), [])
+
 
 class NoStdoutRule(LintHarness):
     def test_cout_flagged(self):

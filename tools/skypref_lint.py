@@ -11,6 +11,13 @@ in a trailing comment, which must state why):
                   src/util/random.*. Every stochastic component draws
                   from the seeded, fully specified Xoshiro256++ stream so
                   a single 64-bit seed reproduces an entire experiment.
+                  Also: direct construction of the generator primitives
+                  (`SplitMix64(...)`, `Xoshiro*`) outside src/util/ and
+                  the sampler engines (src/core/monte_carlo.cc,
+                  src/core/sam_parallel.cc). Hand-rolled seed derivation
+                  is how two call sites silently end up on correlated
+                  streams; derive sub-streams with Rng::Fork() or
+                  SplitSeed() instead.
   no-stdout       `std::cout` / bare `printf(` in library code under
                   src/. The library reports through Status values;
                   stderr (fprintf(stderr, ...)) is allowed for fatal
@@ -60,6 +67,21 @@ RULE_DISCARDED_STATUS = "discarded-status"
 
 EXCEPTION_RE = re.compile(r"\b(throw|try|catch)\b")
 RAW_RANDOM_RE = re.compile(r"\b(?:s?rand)\s*\(|std::random_device")
+# Direct construction of the PRNG primitives: SplitMix64 or any Xoshiro
+# flavor followed by an initializer. Mentions in comments/strings are
+# stripped before matching; a bare type name in a declaration without an
+# initializer is rare enough to accept the false negative.
+PRNG_CONSTRUCT_RE = re.compile(
+    r"\b(SplitMix64|Xoshiro\w*)\s*(?:[A-Za-z_]\w*\s*)?[({]"
+)
+# Files allowed to build PRNG primitives directly: the generator's home,
+# and the two sampler engines whose seeding discipline IS the feature
+# (documented block-seeding contracts, covered by determinism tests).
+PRNG_CONSTRUCT_HOMES = (
+    "src/util/",
+    "src/core/monte_carlo.cc",
+    "src/core/sam_parallel.cc",
+)
 STDOUT_RE = re.compile(r"std::cout|(?<![A-Za-z0-9_])printf\s*\(")
 FLOAT_LITERAL = r"[0-9]+\.[0-9]*(?:[eE][+-]?[0-9]+)?[fFlL]?"
 FLOAT_EQ_RE = re.compile(
@@ -183,6 +205,7 @@ def check_file(path: Path, repo_root: Path,
 
     in_random_home = rel.as_posix().startswith("src/util/random.")
     in_core = rel.as_posix().startswith("src/core/")
+    may_construct_prng = rel.as_posix().startswith(PRNG_CONSTRUCT_HOMES)
 
     # Single-file mode (tests, ad-hoc invocation): the registry is just
     # this file's own declarations. main() passes the tree-wide set.
@@ -220,6 +243,12 @@ def check_file(path: Path, repo_root: Path,
                 add(lineno, RULE_NO_RAW_RANDOM,
                     "non-deterministic randomness outside src/util/random.* "
                     "(use skypref::Rng, seeded)")
+        if not may_construct_prng:
+            for m in PRNG_CONSTRUCT_RE.finditer(code):
+                add(lineno, RULE_NO_RAW_RANDOM,
+                    f"direct {m.group(1)} construction outside src/util/ "
+                    "and the sampler engines (derive sub-streams with "
+                    "Rng::Fork() or SplitSeed())")
         for _ in STDOUT_RE.finditer(code):
             add(lineno, RULE_NO_STDOUT,
                 "library code must not print to stdout "
