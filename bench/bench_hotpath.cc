@@ -28,8 +28,18 @@
 ///                    vs BatchMonteCarloSkylineProbabilities (wall time
 ///                    and the pair_draws world-sharing ratio).
 ///
-/// Usage: bench_hotpath [exact.json] [sam.json]
-///        (defaults BENCH_exact.json / BENCH_sam.json)
+/// A third artifact, BENCH_sam_bitslice.json, tracks the bit-sliced
+/// engine against the scalar block engine:
+///
+///   7. bitslice    — single-thread worlds/sec of kBlock vs kBitSliced
+///                    on the block-Zipf workload (the ≥8x tentpole
+///                    number), a kBitSliced thread curve cross-checked
+///                    bit-identical, and statistical agreement between
+///                    the two engines' estimates.
+///
+/// Usage: bench_hotpath [exact.json] [sam.json] [sam_bitslice.json]
+///        (defaults BENCH_exact.json / BENCH_sam.json /
+///         BENCH_sam_bitslice.json)
 
 #include <chrono>
 #include <cmath>
@@ -44,6 +54,7 @@
 #include "src/core/exact.h"
 #include "src/core/monte_carlo.h"
 #include "src/core/parallel.h"
+#include "src/core/sam_bitslice.h"
 #include "src/core/sam_parallel.h"
 #include "src/core/solver.h"
 #include "src/model/preference_model.h"
@@ -448,9 +459,108 @@ std::string BenchBatchSam() {
   return json.str();
 }
 
+/// Section 7: the bit-slicing tentpole. Same hard target and workload
+/// family as BenchSamScaling (block-Zipf, correlated blocks, big
+/// groups) at the n = 150 scale the tentpole is pinned against. The
+/// headline number is single-thread worlds/sec, scalar block engine vs
+/// bit-sliced engine on the same sample budget; the thread curve then
+/// shows the two parallel axes compose (64 lanes per word x blocks per
+/// pool).
+std::string BenchBitslice() {
+  BlockZipfOptions gen;
+  gen.objects = FullScale() ? 600 : 150;
+  gen.dimensions = 3;
+  gen.block_size = 12;
+  gen.values_per_block = 6;
+  gen.theta = 1.0;
+  gen.seed = 7;
+  Dataset data = GenerateBlockZipf(gen).value();
+  HashedPreferenceModel base(2013,
+                             HashedPreferenceModel::Style::kTotalUniform);
+  BlockLocalPreferenceModel model(base, gen.values_per_block);
+
+  MonteCarloOptions options;
+  options.samples = FullScale() ? 2000000 : 400000;
+  options.seed = 7;
+  double worlds = static_cast<double>(options.samples);
+
+  ThreadPool single(1);
+  MonteCarloResult scalar_result;
+  double scalar_seconds = TimeBest(2, [&] {
+    scalar_result =
+        BlockMonteCarloSkylineProbability(data, 0, model, single, options)
+            .value();
+  });
+  MonteCarloResult sliced_result;
+  double sliced_seconds = TimeBest(2, [&] {
+    sliced_result =
+        BitSlicedMonteCarloSkylineProbability(data, 0, model, single, options)
+            .value();
+  });
+  // Different streams, same probability: divergence past 0.02 at these
+  // sample counts means a broken sampler, not noise.
+  SKYPREF_CHECK(std::abs(scalar_result.estimate - sliced_result.estimate) <
+                0.02);
+
+  std::ostringstream json;
+  json << "  \"bitslice\": {\n"
+       << "    \"objects\": " << data.size() << ",\n"
+       << "    \"samples\": " << options.samples << ",\n"
+       << "    \"block_1thread_seconds\": " << FormatDouble(scalar_seconds)
+       << ",\n"
+       << "    \"block_1thread_worlds_per_sec\": "
+       << FormatDouble(worlds / scalar_seconds) << ",\n"
+       << "    \"bitslice_1thread_seconds\": " << FormatDouble(sliced_seconds)
+       << ",\n"
+       << "    \"bitslice_1thread_worlds_per_sec\": "
+       << FormatDouble(worlds / sliced_seconds) << ",\n"
+       << "    \"speedup_vs_block\": "
+       << FormatDouble(scalar_seconds / sliced_seconds) << ",\n"
+       << "    \"block_pair_draws\": " << scalar_result.pair_draws << ",\n"
+       << "    \"bitslice_pair_draws\": " << sliced_result.pair_draws << ",\n"
+       << "    \"block_estimate\": " << FormatDouble(scalar_result.estimate)
+       << ",\n"
+       << "    \"bitslice_estimate\": "
+       << FormatDouble(sliced_result.estimate) << ",\n";
+
+  double base_seconds = 0.0;
+  std::uint64_t reference_worlds = 0;
+  bool bit_identical = true;
+  json << "    \"threads\": [\n";
+  const std::vector<std::size_t> thread_counts = {1, 2, 4, 8};
+  for (std::size_t t = 0; t < thread_counts.size(); ++t) {
+    ThreadPool pool(thread_counts[t]);
+    MonteCarloResult result;
+    double seconds = TimeBest(2, [&] {
+      result =
+          BitSlicedMonteCarloSkylineProbability(data, 0, model, pool, options)
+              .value();
+    });
+    if (t == 0) {
+      reference_worlds = result.skyline_worlds;
+      base_seconds = seconds;
+    } else if (result.skyline_worlds != reference_worlds) {
+      bit_identical = false;
+    }
+    json << "      {\"threads\": " << thread_counts[t]
+         << ", \"seconds\": " << FormatDouble(seconds)
+         << ", \"worlds_per_sec\": " << FormatDouble(worlds / seconds)
+         << ", \"speedup_vs_1\": " << FormatDouble(base_seconds / seconds)
+         << "}" << (t + 1 < thread_counts.size() ? "," : "") << "\n";
+  }
+  json << "    ],\n"
+       << "    \"bit_identical_across_threads\": "
+       << (bit_identical ? "true" : "false") << "\n"
+       << "  }";
+  SKYPREF_CHECK(bit_identical);
+  return json.str();
+}
+
 int Main(int argc, char** argv) {
   const std::string path = argc > 1 ? argv[1] : "BENCH_exact.json";
   const std::string sam_path = argc > 2 ? argv[2] : "BENCH_sam.json";
+  const std::string bitslice_path =
+      argc > 3 ? argv[3] : "BENCH_sam_bitslice.json";
   std::ostringstream json;
   json << "{\n"
        << "  \"bench\": \"bench_hotpath\",\n"
@@ -495,6 +605,26 @@ int Main(int argc, char** argv) {
   sam_out << sam_json.str();
   sam_out.close();
   std::fprintf(stderr, "bench_hotpath: wrote %s\n", sam_path.c_str());
+
+  std::ostringstream bitslice_json;
+  bitslice_json << "{\n"
+                << "  \"bench\": \"bench_hotpath\",\n"
+                << "  \"scale\": \"" << (FullScale() ? "full" : "quick")
+                << "\",\n"
+                << "  \"hardware_threads\": "
+                << std::thread::hardware_concurrency() << ",\n";
+  std::fprintf(stderr, "bench_hotpath: bit-sliced engine...\n");
+  bitslice_json << BenchBitslice() << "\n}\n";
+
+  std::ofstream bitslice_out(bitslice_path);
+  if (!bitslice_out) {
+    std::fprintf(stderr, "bench_hotpath: cannot open %s\n",
+                 bitslice_path.c_str());
+    return 1;
+  }
+  bitslice_out << bitslice_json.str();
+  bitslice_out.close();
+  std::fprintf(stderr, "bench_hotpath: wrote %s\n", bitslice_path.c_str());
   return 0;
 }
 

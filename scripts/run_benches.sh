@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Regenerates the committed benchmark snapshots at the repo root:
+#
+#   BENCH_exact.json         exact-engine sections of bench_hotpath
+#   BENCH_sam.json           scalar Monte-Carlo (Sam) sections
+#   BENCH_sam_bitslice.json  bit-sliced engine section
+#
+# All workloads inside bench_hotpath use pinned seeds, so two runs on
+# the same machine differ only by timing noise, never by workload or
+# estimate. Quick scale by default; SKYPREF_BENCH_SCALE=full runs the
+# paper's cardinalities.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" --target bench_hotpath -j >/dev/null
+
+"$BUILD_DIR"/bench/bench_hotpath \
+    BENCH_exact.json BENCH_sam.json BENCH_sam_bitslice.json
+
+echo "run_benches: wrote BENCH_exact.json BENCH_sam.json BENCH_sam_bitslice.json"

@@ -33,6 +33,7 @@
 #include <cstdint>
 #include <span>
 
+#include "src/core/monte_carlo.h"
 #include "src/model/dataset.h"
 #include "src/model/preference_model.h"
 #include "src/model/types.h"
@@ -47,6 +48,13 @@ struct AdaptiveOptions {
   std::uint64_t seed = 0xadadadadULL;
   /// First checkpoint; later checkpoints grow geometrically (x1.5).
   std::uint64_t initial_batch = 128;
+  /// Which parallel engine draws each checkpoint batch: kBlock (the
+  /// scalar block engine, the historical default — existing streams are
+  /// unchanged) or kBitSliced (64 worlds per word; batch sizes are then
+  /// rounded UP to multiples of 64 so no batch ends mid-word, which may
+  /// overshoot the Hoeffding cap by at most 63 worlds). kSerial is
+  /// treated as kBlock.
+  MonteCarloOptions::Engine engine = MonteCarloOptions::Engine::kBlock;
 };
 
 struct AdaptiveResult {

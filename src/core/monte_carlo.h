@@ -24,7 +24,7 @@
 /// its achieved sample count — an estimate with a wider Hoeffding bar,
 /// never a lost query — and a CancelToken aborts with Status::Cancelled.
 ///
-/// Two engines implement the estimator (MonteCarloOptions::Engine,
+/// Three engines implement the estimator (MonteCarloOptions::Engine,
 /// mirroring ExactOptions::Engine):
 ///
 ///  * kSerial — this file's single-stream loop, the paper's literal
@@ -37,7 +37,11 @@
 ///    count (including under deadline truncation, which drops a
 ///    deterministic block suffix). The batch estimator
 ///    BatchMonteCarloSkylineProbabilities (also sam_parallel.h) shares
-///    each sampled world across ALL targets of an all-objects query.
+///    each sampled world across ALL targets of an all-objects query;
+///  * kBitSliced — the word-parallel engine of src/core/sam_bitslice.h:
+///    64 worlds evaluated at once per 64-bit mask word, same block
+///    contract as kBlock (its own stream, so estimates differ from
+///    kBlock's but are equally deterministic).
 
 #include <cstdint>
 #include <span>
@@ -96,15 +100,18 @@ struct MonteCarloOptions {
   /// individually deterministic per seed, and kBlock is additionally
   /// bit-identical for every thread count of the pool it runs on.
   enum class Engine : std::uint8_t {
-    kSerial,  ///< single-stream loop in this file (Algorithm 2 verbatim)
-    kBlock,   ///< block-deterministic parallel engine (sam_parallel.h)
+    kSerial,    ///< single-stream loop in this file (Algorithm 2 verbatim)
+    kBlock,     ///< block-deterministic parallel engine (sam_parallel.h)
+    kBitSliced, ///< 64 worlds per machine word (sam_bitslice.h); same
+                ///< block-seeding contract as kBlock, different stream
   };
   Engine engine = Engine::kSerial;
 
-  /// Worlds per block of the kBlock engine. Like
+  /// Worlds per block of the kBlock and kBitSliced engines. Like
   /// ParallelOptions::sample_chunks this is part of the NUMERIC
   /// contract: the estimate depends on (seed, block_size) but never on
-  /// the thread count. Must be >= 1 for the kBlock engine.
+  /// the thread count. Must be >= 1 for the kBlock engine; the
+  /// bit-sliced engine additionally requires a multiple of 64.
   std::uint64_t block_size = 1024;
 };
 

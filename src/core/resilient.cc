@@ -10,6 +10,7 @@
 #include "src/core/monte_carlo.h"
 #include "src/core/oracles.h"
 #include "src/core/partition.h"
+#include "src/core/sam_bitslice.h"
 #include "src/core/sam_parallel.h"
 #include "src/util/check.h"
 #include "src/util/random.h"
@@ -70,8 +71,11 @@ Result<GroupReport> RunSampledRung(const Dataset& data, ObjectId target,
                                    ThreadPool& pool, SolveStats& stats) {
   SKYPREF_ASSIGN_OR_RETURN(
       MonteCarloResult mc,
-      BlockMonteCarloSkylineProbability(data, target, group, model, pool,
-                                        mc_options));
+      mc_options.engine == MonteCarloOptions::Engine::kBitSliced
+          ? BitSlicedMonteCarloSkylineProbability(data, target, group, model,
+                                                  pool, mc_options)
+          : BlockMonteCarloSkylineProbability(data, target, group, model, pool,
+                                              mc_options));
   stats.samples_drawn += mc.samples;
   stats.pair_draws += mc.pair_draws;
   GroupReport report;

@@ -1,74 +1,29 @@
 #include "src/core/sam_parallel.h"
 
 #include <algorithm>
-#include <atomic>
 #include <cstddef>
-#include <unordered_map>
 #include <utility>
 
-#include "src/core/absorption.h"
 #include "src/core/dominance.h"
-#include "src/core/partition.h"
+#include "src/core/sam_bitslice.h"
+#include "src/core/sam_internal.h"
 #include "src/util/check.h"
-#include "src/util/failpoint.h"
-#include "src/util/hash.h"
 #include "src/util/random.h"
 
 namespace skypref {
 
 namespace {
 
-/// Same poll cadence as the serial engine (monte_carlo.cc): every 64
-/// worlds or every this many pair draws, whichever comes first.
-constexpr std::uint64_t kPairDrawPollStride = 8192;
+using internal::BatchPlan;
+using internal::BlockOutcome;
+using internal::BlockPrefix;
+using internal::CountedPrefix;
+using internal::FlatSamInstance;
+using internal::RunDeterministicBlocks;
 
 // -------------------------------------------------------------------------
-// Layer 1: the flat sampler
+// Layer 1: the flat sampler (instance built by sam_internal.cc)
 // -------------------------------------------------------------------------
-
-/// The single-target instance flattened for the world loop, mirroring the
-/// exact engine's FlatInstance: distinct (dim, value) preference pairs
-/// become integer Bernoulli thresholds and each candidate owns a CSR
-/// slice of pair ids, in checking-sequence order.
-struct FlatSamInstance {
-  std::vector<std::uint64_t> thresholds;  // per distinct pair
-  std::vector<std::uint32_t> pair_ids;    // CSR payload
-  std::vector<std::uint32_t> offsets;     // per candidate, size count+1
-
-  std::size_t candidate_count() const { return offsets.size() - 1; }
-  std::size_t pair_count() const { return thresholds.size(); }
-};
-
-FlatSamInstance BuildFlatSamInstance(const Dataset& data, ObjectId target,
-                                     std::span<const ObjectId> candidates,
-                                     const PreferenceModel& model) {
-  const DimensionId d = static_cast<DimensionId>(data.dimensions());
-  FlatSamInstance inst;
-  std::unordered_map<std::pair<DimensionId, ValueId>, std::uint32_t, PairHash>
-      pair_index;
-  inst.offsets.reserve(candidates.size() + 1);
-  inst.offsets.push_back(0);
-  for (ObjectId id : candidates) {
-    for (DimensionId j = 0; j < d; ++j) {
-      ValueId v = data.value(id, j);
-      ValueId o = data.value(target, j);
-      if (v == o) continue;
-      auto [it, inserted] = pair_index.try_emplace(
-          {j, v}, static_cast<std::uint32_t>(inst.thresholds.size()));
-      if (inserted) {
-        double less_eq = model.LessEq(j, v, o);
-        // Every threshold the sampler will ever compare against encodes a
-        // model probability; catch a broken model before it skews
-        // thousands of worlds.
-        SKYPREF_DCHECK_PROB(less_eq);
-        inst.thresholds.push_back(internal::BernoulliThreshold(less_eq));
-      }
-      inst.pair_ids.push_back(it->second);
-    }
-    inst.offsets.push_back(static_cast<std::uint32_t>(inst.pair_ids.size()));
-  }
-  return inst;
-}
 
 /// Per-block mutable sampling state: pair outcomes memoized per world
 /// with epoch stamps (no per-world clearing). Each block owns its state —
@@ -120,122 +75,6 @@ bool SampleFlatWorld(const FlatSamInstance& inst, SamWorldState& state,
     if (dominates && end > begin) return false;
   }
   return true;
-}
-
-// -------------------------------------------------------------------------
-// Layer 2: the block-deterministic runner
-// -------------------------------------------------------------------------
-
-/// What one block reported. `achieved`/`draws` of an incomplete block
-/// are nonzero only for block 0 (which keeps its partial prefix); every
-/// other stopped block discards its partial work so that the reduced
-/// estimate is a pure function of the counted block prefix.
-struct BlockOutcome {
-  std::uint64_t achieved = 0;
-  std::uint64_t draws = 0;
-  bool complete = false;
-};
-
-/// The counted block prefix [0, end) and whether truncation happened.
-struct BlockPrefix {
-  std::uint64_t end = 0;
-  bool truncated = false;
-};
-
-/// Applies the truncation contract: T = first incomplete block; blocks
-/// past T never count, even when they finished. T == 0 still counts
-/// block 0's kept partial prefix (a truncated run always carries at
-/// least one world).
-BlockPrefix CountedPrefix(const std::vector<BlockOutcome>& outcomes) {
-  std::uint64_t t = outcomes.size();
-  for (std::uint64_t b = 0; b < outcomes.size(); ++b) {
-    if (!outcomes[b].complete) {
-      t = b;
-      break;
-    }
-  }
-  if (t == outcomes.size()) return {t, false};
-  return {std::max<std::uint64_t>(t, 1), true};
-}
-
-/// Fans `samples` worlds out over `pool` in fixed blocks of `block_size`.
-/// `make_block(b)` builds block b's world closure (owning any per-block
-/// state); the closure is then called once per world with block b's
-/// private SplitSeed(seed, b) Rng. Deterministic per (seed, block_size)
-/// at every thread count; see the header's truncation contract.
-/// Returns Cancelled when any block observes a tripped token.
-template <typename MakeBlockFn>
-Status RunDeterministicBlocks(ThreadPool& pool, std::uint64_t samples,
-                              std::uint64_t block_size, std::uint64_t seed,
-                              const Deadline& deadline,
-                              const CancelToken* cancel,
-                              std::vector<BlockOutcome>& outcomes,
-                              MakeBlockFn&& make_block) {
-  const std::uint64_t num_blocks = (samples + block_size - 1) / block_size;
-  outcomes.assign(num_blocks, BlockOutcome{});
-
-  // The "sampler.block" failpoint is consumed SERIALLY over the block
-  // indices before dispatch, so "fires on hit k" poisons block k at every
-  // thread count (the deterministic-checkpoint placement rule of
-  // failpoint.h). Block 0 is exempt: the reduced estimate always keeps at
-  // least block 0's prefix.
-  std::uint64_t poisoned = num_blocks;
-  for (std::uint64_t b = 1; b < num_blocks; ++b) {
-    if (SKYPREF_FAILPOINT("sampler.block")) {
-      poisoned = b;
-      break;
-    }
-  }
-
-  // First block known to be stopped or poisoned. Later blocks use it to
-  // skip work the prefix rule would discard anyway; skipping never
-  // changes the counted prefix, because a skipped block is strictly
-  // after the first stopped one.
-  std::atomic<std::uint64_t> first_stop(poisoned);
-  std::atomic<bool> cancelled(false);
-
-  pool.ParallelFor(static_cast<std::size_t>(num_blocks), [&](std::size_t bi) {
-    const std::uint64_t b = static_cast<std::uint64_t>(bi);
-    if (b > 0 && b >= first_stop.load(std::memory_order_relaxed)) return;
-    const std::uint64_t begin = b * block_size;
-    const std::uint64_t want = std::min(block_size, samples - begin);
-    Rng rng(SplitSeed(seed, b));
-    auto world = make_block(b);
-    BlockOutcome& out = outcomes[b];
-    std::uint64_t draws_at_last_poll = 0;
-    for (std::uint64_t h = 0; h < want; ++h) {
-      world(rng, &out.draws);
-      out.achieved = h + 1;
-      // Poll after sampling (serial cadence), so block 0's kept prefix is
-      // never empty and a cheap block never pays a clock read per world.
-      if (((out.achieved & 63) == 0 ||
-           out.draws - draws_at_last_poll >= kPairDrawPollStride) &&
-          out.achieved < want) {
-        draws_at_last_poll = out.draws;
-        if (cancel != nullptr && cancel->cancelled()) {
-          cancelled.store(true, std::memory_order_relaxed);
-          return;
-        }
-        if (deadline.Expired()) {
-          std::uint64_t cur = first_stop.load(std::memory_order_relaxed);
-          while (b < cur && !first_stop.compare_exchange_weak(
-                                cur, b, std::memory_order_relaxed)) {
-          }
-          if (b > 0) {
-            // A mid-block partial of a later block is timing-dependent;
-            // discard it entirely — the prefix rule drops block b anyway.
-            out.achieved = 0;
-            out.draws = 0;
-          }
-          return;
-        }
-      }
-    }
-    out.complete = true;
-  });
-
-  if (cancelled.load(std::memory_order_relaxed)) return CancelledStatus();
-  return Status::OK();
 }
 
 }  // namespace
@@ -295,18 +134,19 @@ Result<MonteCarloResult> BlockMonteCarloSkylineProbability(
   }
 
   FlatSamInstance inst =
-      BuildFlatSamInstance(data, target, ordered, model);
+      internal::BuildFlatSamInstance(data, target, ordered, model);
   const std::uint64_t num_blocks =
       (samples + options.block_size - 1) / options.block_size;
   std::vector<std::uint64_t> survived(num_blocks, 0);
   std::vector<BlockOutcome> outcomes;
   const bool lazy = options.lazy;
   SKYPREF_RETURN_IF_ERROR(RunDeterministicBlocks(
-      pool, samples, options.block_size, options.seed, deadline,
+      pool, samples, options.block_size, /*chunk=*/1, options.seed, deadline,
       options.cancel, outcomes, [&](std::uint64_t b) {
         return [&inst, &survived, b, lazy,
                 state = SamWorldState(inst.pair_count())](
-                   Rng& rng, std::uint64_t* draws) mutable {
+                   Rng& rng, std::uint64_t step, std::uint64_t* draws) mutable {
+          (void)step;  // chunk = 1: exactly one world per call
           if (SampleFlatWorld(inst, state, rng, lazy, draws)) ++survived[b];
         };
       }));
@@ -340,53 +180,15 @@ Result<MonteCarloResult> BlockMonteCarloSkylineProbability(
 }
 
 // -------------------------------------------------------------------------
-// Layer 3: batch Sam
+// Layer 3: batch Sam (plan built by sam_internal.cc)
 // -------------------------------------------------------------------------
 
 namespace {
 
-struct TernaryPairKey {
-  DimensionId dim;
-  ValueId lo;
-  ValueId hi;
-  bool operator==(const TernaryPairKey& o) const {
-    return dim == o.dim && lo == o.lo && hi == o.hi;
-  }
-};
-
-struct TernaryPairKeyHash {
-  std::size_t operator()(const TernaryPairKey& k) const {
-    std::size_t h = HashCombine(std::size_t{0x5a3ba7c4}, k.dim);
-    h = HashCombine(h, k.lo);
-    return HashCombine(h, k.hi);
-  }
-};
-
-/// Ternary orientation outcomes, stored per pair per world.
-constexpr std::uint8_t kLoPreferred = 0;
-constexpr std::uint8_t kHiPreferred = 1;
-constexpr std::uint8_t kIncomparable = 2;
-
-/// The whole batch flattened: a global table of ternary orientation
-/// variables (two integer cuts each: draw below cut_lo means lo
-/// preferred, else below cut_hi means hi preferred, else incomparable)
-/// plus a two-level CSR — per target a slice of candidate slots, per
-/// slot a slice of packed requirements (pair_index << 1 | want_hi).
-/// Candidates are in descending dominance-probability order per target.
-struct BatchPlan {
-  std::vector<std::uint64_t> cut_lo;
-  std::vector<std::uint64_t> cut_hi;
-  std::vector<std::uint32_t> reqs;
-  std::vector<std::uint32_t> req_offsets;   // per candidate slot, slots+1
-  std::vector<std::uint32_t> target_begin;  // per target, n+1, slot indices
-
-  std::size_t pair_count() const { return cut_lo.size(); }
-};
-
-/// Per-block mutable state of the batch sampler.
+/// Per-block mutable state of the scalar batch sampler.
 struct BatchWorldState {
   explicit BatchWorldState(std::size_t pairs)
-      : epoch_mark(pairs, 0), outcome(pairs, kIncomparable) {}
+      : epoch_mark(pairs, 0), outcome(pairs, internal::kIncomparable) {}
 
   std::vector<std::uint64_t> epoch_mark;
   std::vector<std::uint8_t> outcome;
@@ -413,10 +215,10 @@ bool BatchSurvives(const BatchPlan& plan, BatchWorldState& state,
         state.epoch_mark[p] = state.epoch;
         const std::uint64_t u = rng.NextUint64();
         state.outcome[p] = internal::ThresholdHit(u, plan.cut_lo[p])
-                               ? kLoPreferred
+                               ? internal::kLoPreferred
                                : (internal::ThresholdHit(u, plan.cut_hi[p])
-                                      ? kHiPreferred
-                                      : kIncomparable);
+                                      ? internal::kHiPreferred
+                                      : internal::kIncomparable);
         ++*pair_draws;
       }
       if (state.outcome[p] != want) {
@@ -434,6 +236,12 @@ bool BatchSurvives(const BatchPlan& plan, BatchWorldState& state,
 Result<std::vector<double>> BatchMonteCarloSkylineProbabilities(
     const Dataset& data, const PreferenceModel& model, ThreadPool& pool,
     const SolverOptions& options, BatchSamStats* stats) {
+  // The bit-sliced engine shares this plan-building front end but swaps
+  // the world loop for mask words; dispatch before any work happens.
+  if (options.monte_carlo.engine == MonteCarloOptions::Engine::kBitSliced) {
+    return BitSlicedBatchMonteCarloSkylineProbabilities(data, model, pool,
+                                                        options, stats);
+  }
   SKYPREF_RETURN_IF_ERROR(data.Validate());
   SKYPREF_RETURN_IF_ERROR(model.Validate(data));
   const std::size_t n = data.size();
@@ -456,123 +264,8 @@ Result<std::vector<double>> BatchMonteCarloSkylineProbabilities(
   }
 
   BatchSamStats local;
-  local.targets = n;
   local.requested_samples = samples;
-
-  // Phase A: absorption + partition per target, sharing the global
-  // posting lists, exactly as in the batch exact solver. Absorption is
-  // pure win for the sampler too — an absorbed candidate's dominance
-  // event is contained in its absorber's, so dropping it changes no
-  // world's verdict.
-  std::vector<std::vector<std::vector<ObjectId>>> groups(n);
-  if (options.preprocess) {
-    ValuePostings postings(data);
-    constexpr std::size_t kChunk = 16;
-    const std::size_t chunks = (n + kChunk - 1) / kChunk;
-    pool.ParallelFor(chunks, [&](std::size_t c) {
-      PartitionWorkspace workspace;
-      const std::size_t begin = c * kChunk;
-      const std::size_t end = std::min(n, begin + kChunk);
-      for (ObjectId t = begin; t < end; ++t) {
-        std::vector<ObjectId> candidates =
-            AbsorbAllCandidatesIndexed(data, t, postings);
-        groups[t] = PartitionCandidates(
-            data, t, std::span<const ObjectId>(candidates), workspace);
-      }
-    });
-  } else {
-    for (ObjectId t = 0; t < n; ++t) {
-      std::vector<ObjectId> candidates;
-      candidates.reserve(n - 1);
-      for (ObjectId id = 0; id < n; ++id) {
-        if (id != t) candidates.push_back(id);
-      }
-      groups[t].push_back(std::move(candidates));
-    }
-  }
-  for (ObjectId t = 0; t < n; ++t) {
-    std::size_t after = 0;
-    for (const auto& group : groups[t]) {
-      after += group.size();
-      local.largest_group = std::max(local.largest_group, group.size());
-    }
-    local.groups += groups[t].size();
-    local.absorbed += (n - 1) - after;
-  }
-
-  // Phase B: one global table of ternary orientation variables, interned
-  // by canonical (dim, lo, hi), shared by every target's plan — the
-  // world-sharing that turns targets x worlds x pairs draws into
-  // worlds x distinct-pairs. Serial: this interning IS the work being
-  // deduplicated across targets.
-  const DimensionId d = static_cast<DimensionId>(data.dimensions());
-  BatchPlan plan;
-  std::unordered_map<TernaryPairKey, std::uint32_t, TernaryPairKeyHash>
-      pair_index;
-  plan.target_begin.reserve(n + 1);
-  plan.target_begin.push_back(0);
-  plan.req_offsets.push_back(0);
-  struct PlanCandidate {
-    double dominance = 1.0;
-    std::vector<std::uint32_t> reqs;
-  };
-  std::vector<PlanCandidate> per_target;
-  for (ObjectId t = 0; t < n; ++t) {
-    per_target.clear();
-    for (const auto& group : groups[t]) {
-      for (ObjectId c : group) {
-        PlanCandidate cand;
-        bool possible = true;
-        for (DimensionId j = 0; j < d && possible; ++j) {
-          ValueId vc = data.value(c, j);
-          ValueId vt = data.value(t, j);
-          if (vc == vt) continue;
-          ValueId lo = std::min(vc, vt);
-          ValueId hi = std::max(vc, vt);
-          PrefPair pair = model.GetPair(j, lo, hi);
-          double toward_candidate = vc == lo ? pair.less : pair.greater;
-          // Exact-zero test: Pr = 0 means the orientation can never be
-          // drawn, so the candidate is pruned from the sampling plan.
-          if (toward_candidate == 0.0) {  // skypref-lint: allow(float-eq)
-            possible = false;
-            break;
-          }
-          cand.dominance *= toward_candidate;
-          auto [it, inserted] = pair_index.try_emplace(
-              TernaryPairKey{j, lo, hi},
-              static_cast<std::uint32_t>(plan.cut_lo.size()));
-          if (inserted) {
-            SKYPREF_DCHECK_PROB(pair.less);
-            SKYPREF_DCHECK_PROB(pair.less + pair.greater);
-            plan.cut_lo.push_back(internal::BernoulliThreshold(pair.less));
-            plan.cut_hi.push_back(internal::BernoulliThreshold(
-                std::min(pair.less + pair.greater, 1.0)));
-          }
-          cand.reqs.push_back((it->second << 1) |
-                              (vc == hi ? 1u : 0u));
-        }
-        if (!possible) {
-          ++local.pruned_candidates;
-          continue;
-        }
-        // A candidate with no differing dimension would duplicate the
-        // target; Dataset::Validate guarantees that cannot happen.
-        if (!cand.reqs.empty()) per_target.push_back(std::move(cand));
-      }
-    }
-    // Algorithm 2 line 1 per target: most probable dominators first.
-    std::stable_sort(per_target.begin(), per_target.end(),
-                     [](const PlanCandidate& a, const PlanCandidate& b) {
-                       return a.dominance > b.dominance;
-                     });
-    for (PlanCandidate& cand : per_target) {
-      plan.reqs.insert(plan.reqs.end(), cand.reqs.begin(), cand.reqs.end());
-      plan.req_offsets.push_back(static_cast<std::uint32_t>(plan.reqs.size()));
-    }
-    plan.target_begin.push_back(
-        static_cast<std::uint32_t>(plan.req_offsets.size() - 1));
-  }
-  local.distinct_pairs = plan.pair_count();
+  BatchPlan plan = internal::BuildBatchPlan(data, model, pool, options, local);
 
   // Phase C: the shared world stream, fanned out in deterministic blocks
   // (same runner, same "sampler.block" failpoint, same truncation
@@ -585,11 +278,12 @@ Result<std::vector<double>> BatchMonteCarloSkylineProbabilities(
       num_blocks, std::vector<std::uint64_t>(n, 0));
   std::vector<BlockOutcome> outcomes;
   SKYPREF_RETURN_IF_ERROR(RunDeterministicBlocks(
-      pool, samples, mc.block_size, mc.seed, deadline, mc.cancel, outcomes,
-      [&](std::uint64_t b) {
+      pool, samples, mc.block_size, /*chunk=*/1, mc.seed, deadline, mc.cancel,
+      outcomes, [&](std::uint64_t b) {
         return [&plan, counts = survived[b].data(), n,
                 state = BatchWorldState(plan.pair_count())](
-                   Rng& rng, std::uint64_t* draws) mutable {
+                   Rng& rng, std::uint64_t step, std::uint64_t* draws) mutable {
+          (void)step;  // chunk = 1: exactly one world per call
           ++state.epoch;
           for (ObjectId t = 0; t < n; ++t) {
             if (BatchSurvives(plan, state, t, rng, draws)) ++counts[t];

@@ -5,6 +5,7 @@
 #include "src/core/absorption.h"
 #include "src/core/dominance.h"
 #include "src/core/partition.h"
+#include "src/core/sam_bitslice.h"
 #include "src/core/sam_parallel.h"
 #include "src/util/check.h"
 #include "src/util/random.h"
@@ -14,21 +15,27 @@ namespace skypref {
 namespace {
 
 /// One Sam solve through the configured engine. The kSerial engine never
-/// touches the pool; the kBlock engine fans out over \p pool, or an
-/// inline pool when the caller has none (bit-identical either way).
+/// touches the pool; the kBlock and kBitSliced engines fan out over
+/// \p pool, or an inline pool when the caller has none (bit-identical
+/// either way).
 Result<MonteCarloResult> RunSamEngine(const Dataset& data, ObjectId target,
                                       std::span<const ObjectId> candidates,
                                       const PreferenceModel& model,
                                       ThreadPool* pool,
                                       const MonteCarloOptions& options) {
-  if (options.engine == MonteCarloOptions::Engine::kBlock) {
-    if (pool != nullptr) {
-      return BlockMonteCarloSkylineProbability(data, target, candidates,
-                                               model, *pool, options);
-    }
+  if (options.engine == MonteCarloOptions::Engine::kBlock ||
+      options.engine == MonteCarloOptions::Engine::kBitSliced) {
+    const bool sliced = options.engine == MonteCarloOptions::Engine::kBitSliced;
+    auto run = [&](ThreadPool& p) {
+      return sliced ? BitSlicedMonteCarloSkylineProbability(
+                          data, target, candidates, model, p, options)
+                    : BlockMonteCarloSkylineProbability(data, target,
+                                                        candidates, model, p,
+                                                        options);
+    };
+    if (pool != nullptr) return run(*pool);
     ThreadPool inline_pool(0);
-    return BlockMonteCarloSkylineProbability(data, target, candidates, model,
-                                             inline_pool, options);
+    return run(inline_pool);
   }
   return MonteCarloSkylineProbability(data, target, candidates, model,
                                       options);

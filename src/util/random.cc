@@ -1,22 +1,15 @@
 #include "src/util/random.h"
 
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define SKYPREF_HAVE_AVX512_KERNELS 1
+#include <immintrin.h>
+#endif
+
 namespace skypref {
 
 Rng::Rng(std::uint64_t seed) {
   SplitMix64 mixer(seed);
   for (auto& word : state_) word = mixer.Next();
-}
-
-std::uint64_t Rng::NextUint64() {
-  const std::uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
-  const std::uint64_t t = state_[1] << 17;
-  state_[2] ^= state_[0];
-  state_[3] ^= state_[1];
-  state_[1] ^= state_[2];
-  state_[0] ^= state_[3];
-  state_[2] ^= t;
-  state_[3] = Rotl(state_[3], 45);
-  return result;
 }
 
 double Rng::NextDouble() {
@@ -50,5 +43,116 @@ bool Rng::NextBernoulli(double p) {
 }
 
 std::uint64_t Rng::Fork() { return NextUint64() ^ 0x6a09e667f3bcc909ULL; }
+
+namespace internal {
+
+void NextBernoulliWords8Scalar(OctoRng& o, std::uint64_t threshold,
+                               std::uint64_t* out) {
+  constexpr int kLanes = OctoRng::kLanes;
+  if (threshold == 0) {
+    for (int l = 0; l < kLanes; ++l) out[l] = 0;
+    return;
+  }
+  if (threshold == std::numeric_limits<std::uint64_t>::max()) {
+    for (int l = 0; l < kLanes; ++l) out[l] = ~0ULL;
+    return;
+  }
+  std::uint64_t below[kLanes] = {};
+  std::uint64_t undecided[kLanes];
+  for (int l = 0; l < kLanes; ++l) undecided[l] = ~0ULL;
+  const int lowest = std::countr_zero(threshold);
+  for (int k = 63; k >= lowest; --k) {
+    const std::uint64_t bit = (threshold >> k) & 1ULL;
+    const std::uint64_t take = 0 - bit;   // cut bit 1: 0-bit decides below
+    const std::uint64_t keep = bit - 1;   // cut bit 0: 1-bit decides above
+    std::uint64_t any = 0;
+    for (int l = 0; l < kLanes; ++l) {
+      // One xoshiro256++ step of lane l; identical arithmetic to
+      // Rng::NextUint64 over the lane's state column.
+      const std::uint64_t r =
+          std::rotl(o.s[0][l] + o.s[3][l], 23) + o.s[0][l];
+      const std::uint64_t t = o.s[1][l] << 17;
+      o.s[2][l] ^= o.s[0][l];
+      o.s[3][l] ^= o.s[1][l];
+      o.s[1][l] ^= o.s[2][l];
+      o.s[0][l] ^= o.s[3][l];
+      o.s[2][l] ^= t;
+      o.s[3][l] = std::rotl(o.s[3][l], 45);
+      below[l] |= undecided[l] & ~r & take;
+      undecided[l] &= r ^ keep;
+      any |= undecided[l];
+    }
+    if (any == 0) break;
+  }
+  for (int l = 0; l < kLanes; ++l) out[l] = below[l];
+}
+
+#if SKYPREF_HAVE_AVX512_KERNELS
+// GCC's avx512 intrinsic headers build _mm512_set1_epi64 on top of an
+// explicitly undefined vector, which -Wmaybe-uninitialized misreads.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+__attribute__((target("avx512f"))) void NextBernoulliWords8Avx512(
+    OctoRng& o, std::uint64_t threshold, std::uint64_t* out) {
+  if (threshold == 0) {
+    for (int l = 0; l < OctoRng::kLanes; ++l) out[l] = 0;
+    return;
+  }
+  if (threshold == std::numeric_limits<std::uint64_t>::max()) {
+    for (int l = 0; l < OctoRng::kLanes; ++l) out[l] = ~0ULL;
+    return;
+  }
+  __m512i s0 = _mm512_load_si512(o.s[0]);
+  __m512i s1 = _mm512_load_si512(o.s[1]);
+  __m512i s2 = _mm512_load_si512(o.s[2]);
+  __m512i s3 = _mm512_load_si512(o.s[3]);
+  __m512i below = _mm512_setzero_si512();
+  __m512i undecided = _mm512_set1_epi64(-1);
+  const int lowest = std::countr_zero(threshold);
+  for (int k = 63; k >= lowest; --k) {
+    // xoshiro256++ step, all eight lanes at once.
+    const __m512i r = _mm512_add_epi64(
+        _mm512_rol_epi64(_mm512_add_epi64(s0, s3), 23), s0);
+    const __m512i t = _mm512_slli_epi64(s1, 17);
+    s2 = _mm512_xor_si512(s2, s0);
+    s3 = _mm512_xor_si512(s3, s1);
+    s1 = _mm512_xor_si512(s1, s2);
+    s0 = _mm512_xor_si512(s0, s3);
+    s2 = _mm512_xor_si512(s2, t);
+    s3 = _mm512_rol_epi64(s3, 45);
+    const std::uint64_t bit = (threshold >> k) & 1ULL;
+    const __m512i take = _mm512_set1_epi64(
+        static_cast<long long>(0 - bit));
+    const __m512i keep = _mm512_set1_epi64(
+        static_cast<long long>(bit - 1));
+    // below |= undecided & ~r & take, one three-input ternlog
+    // (imm 0x08 = ~a & b & c) plus the accumulate OR.
+    below = _mm512_or_si512(
+        below, _mm512_ternarylogic_epi64(r, undecided, take, 0x08));
+    undecided = _mm512_and_si512(undecided, _mm512_xor_si512(r, keep));
+    if (_mm512_test_epi64_mask(undecided, undecided) == 0) break;
+  }
+  _mm512_store_si512(o.s[0], s0);
+  _mm512_store_si512(o.s[1], s1);
+  _mm512_store_si512(o.s[2], s2);
+  _mm512_store_si512(o.s[3], s3);
+  _mm512_storeu_si512(out, below);
+}
+#pragma GCC diagnostic pop
+#endif  // SKYPREF_HAVE_AVX512_KERNELS
+
+}  // namespace internal
+
+void NextBernoulliWords8(OctoRng& o, std::uint64_t threshold,
+                         std::uint64_t* out) {
+#if SKYPREF_HAVE_AVX512_KERNELS
+  static const bool have_avx512 = __builtin_cpu_supports("avx512f") != 0;
+  if (have_avx512) {
+    internal::NextBernoulliWords8Avx512(o, threshold, out);
+    return;
+  }
+#endif
+  internal::NextBernoulliWords8Scalar(o, threshold, out);
+}
 
 }  // namespace skypref

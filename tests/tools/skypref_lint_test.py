@@ -109,8 +109,10 @@ class NoRawRandomRule(LintHarness):
         body = "void F(uint64_t s) { SplitMix64 mixer(s); }\n"
         self.write("src/core/monte_carlo.cc", body)
         self.write("src/core/sam_parallel.cc", body)
+        self.write("src/core/sam_bitslice.cc", body)
         self.assertEqual(self.rules("src/core/monte_carlo.cc"), [])
         self.assertEqual(self.rules("src/core/sam_parallel.cc"), [])
+        self.assertEqual(self.rules("src/core/sam_bitslice.cc"), [])
 
     def test_prng_mention_in_comment_ignored(self):
         self.write("src/core/x.cc",

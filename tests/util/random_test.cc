@@ -3,10 +3,13 @@
 #include <bit>
 #include <cmath>
 #include <cstdint>
+#include <limits>
 #include <set>
 #include <vector>
 
 #include <gtest/gtest.h>
+
+#include "src/core/sam_parallel.h"  // internal::BernoulliThreshold
 
 namespace skypref {
 namespace {
@@ -159,6 +162,215 @@ TEST(SplitSeedTest, ChiSquareOverDerivedStreamsIsUniform) {
     chi2 += diff * diff / expected;
   }
   EXPECT_LT(chi2, 40.0);
+}
+
+TEST(NextBernoulliWordTest, EndpointsAreExactAndFree) {
+  // p = 0 and the p >= 1 sentinel must be decided without consuming any
+  // randomness, exactly like Rng::NextBernoulli at both endpoints.
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  Rng a(11), twin(11);
+  EXPECT_EQ(NextBernoulliWord(a, 0), 0ULL);
+  EXPECT_EQ(NextBernoulliWord(a, kMax), ~0ULL);
+  EXPECT_EQ(a.NextUint64(), twin.NextUint64());  // stream untouched
+}
+
+TEST(NextBernoulliWordTest, DyadicThresholdConsumesOneWord) {
+  // p = 1/2 (threshold 2^63) has a single significant bit: every lane is
+  // decided by the first revealed bit, so exactly one PRNG word is
+  // consumed — the best case that block-local preference models (their
+  // cross-block pairs are uniform coin flips) hit constantly.
+  Rng a(13), twin(13);
+  const std::uint64_t half = internal::BernoulliThreshold(0.5);
+  const std::uint64_t word = NextBernoulliWord(a, half);
+  const std::uint64_t consumed = twin.NextUint64();
+  EXPECT_EQ(word, ~consumed);  // U < 2^63 iff the top... all bits decide
+  EXPECT_EQ(a.NextUint64(), twin.NextUint64());  // exactly one word used
+}
+
+TEST(NextBernoulliWordTest, PerBitChiSquareMatchesThreshold) {
+  // Bit w of each word must be Bernoulli(p) for EVERY lane w, not just on
+  // average: pool N draws per lane and form the 64-term chi-square
+  // statistic sum_w (k_w - Np)^2 / (Np(1-p)). Healthy lanes stay under
+  // the 99.99th percentile of chi^2_64 (~118) with margin.
+  const int kDraws = 8192;
+  for (double p : {0.3, 0.5, 0.75, 0.9}) {
+    const std::uint64_t threshold = internal::BernoulliThreshold(p);
+    Rng rng(0xb17b17ULL + static_cast<std::uint64_t>(p * 1000));
+    std::vector<int> per_bit(64, 0);
+    for (int i = 0; i < kDraws; ++i) {
+      std::uint64_t w = NextBernoulliWord(rng, threshold);
+      while (w != 0) {
+        ++per_bit[static_cast<std::size_t>(std::countr_zero(w))];
+        w &= w - 1;
+      }
+    }
+    const double expected = kDraws * p;
+    const double var = kDraws * p * (1.0 - p);
+    double chi2 = 0.0;
+    for (int k : per_bit) {
+      const double diff = k - expected;
+      chi2 += diff * diff / var;
+    }
+    EXPECT_LT(chi2, 125.0) << "p=" << p;
+  }
+}
+
+TEST(NextBernoulliWordTest, CrossBitPairsAreUncorrelated) {
+  // Lanes share the revealed PRNG words, so independence across bits is
+  // the property to earn, not assume: for lane pairs, the joint-hit
+  // frequency must match p^2. 5-sigma band on a binomial count.
+  const int kDraws = 16384;
+  const double p = 0.6;
+  const std::uint64_t threshold = internal::BernoulliThreshold(p);
+  Rng rng(0xc0a7e5ULL);
+  const int pairs[][2] = {{0, 1}, {7, 8}, {31, 32}, {62, 63}, {0, 63}};
+  int joint[5] = {0};
+  for (int i = 0; i < kDraws; ++i) {
+    const std::uint64_t w = NextBernoulliWord(rng, threshold);
+    for (int j = 0; j < 5; ++j) {
+      if (((w >> pairs[j][0]) & 1ULL) != 0 && ((w >> pairs[j][1]) & 1ULL) != 0) {
+        ++joint[j];
+      }
+    }
+  }
+  const double expected = kDraws * p * p;
+  const double sigma = std::sqrt(kDraws * p * p * (1.0 - p * p));
+  for (int j = 0; j < 5; ++j) {
+    EXPECT_NEAR(joint[j], expected, 5.0 * sigma)
+        << "pair (" << pairs[j][0] << "," << pairs[j][1] << ")";
+  }
+}
+
+TEST(NextBernoulliWordTest, FullPrecisionThresholdMeanMatches) {
+  // A non-dyadic p exercises the deep expansion (many significant
+  // threshold bits); the mean bit density must still match p.
+  const double p = 1.0 / 3.0;
+  const std::uint64_t threshold = internal::BernoulliThreshold(p);
+  Rng rng(0x3333ULL);
+  const int kDraws = 20000;
+  std::int64_t hits = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    hits += std::popcount(NextBernoulliWord(rng, threshold));
+  }
+  const double n = 64.0 * kDraws;
+  EXPECT_NEAR(static_cast<double>(hits) / n, p,
+              5.0 * std::sqrt(p * (1.0 - p) / n));
+}
+
+TEST(NextTernaryWordsTest, MasksAreMutuallyExclusive) {
+  Rng rng(0x7e7e7eULL);
+  const std::uint64_t lo = internal::BernoulliThreshold(0.4);
+  const std::uint64_t hi = internal::BernoulliThreshold(0.7);
+  for (int i = 0; i < 2000; ++i) {
+    std::uint64_t lo_mask = 0, hi_mask = 0;
+    NextTernaryWords(rng, lo, hi, &lo_mask, &hi_mask);
+    EXPECT_EQ(lo_mask & hi_mask, 0ULL);
+  }
+}
+
+TEST(NextTernaryWordsTest, FrequenciesMatchBothCuts) {
+  // Pr(lo) = 0.4, Pr(hi) = 0.3, Pr(incomparable) = 0.3, from one shared
+  // uniform per lane — all three frequencies must land on target.
+  Rng rng(0x7a7a7aULL);
+  const std::uint64_t lo = internal::BernoulliThreshold(0.4);
+  const std::uint64_t hi = internal::BernoulliThreshold(0.7);
+  const int kDraws = 20000;
+  std::int64_t lo_hits = 0, hi_hits = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    std::uint64_t lo_mask = 0, hi_mask = 0;
+    NextTernaryWords(rng, lo, hi, &lo_mask, &hi_mask);
+    lo_hits += std::popcount(lo_mask);
+    hi_hits += std::popcount(hi_mask);
+  }
+  const double n = 64.0 * kDraws;
+  EXPECT_NEAR(static_cast<double>(lo_hits) / n, 0.4,
+              5.0 * std::sqrt(0.4 * 0.6 / n));
+  EXPECT_NEAR(static_cast<double>(hi_hits) / n, 0.3,
+              5.0 * std::sqrt(0.3 * 0.7 / n));
+}
+
+TEST(NextTernaryWordsTest, SentinelsAreExactAndFree) {
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  Rng a(29), twin(29);
+  std::uint64_t lo_mask = 0, hi_mask = 0;
+  // Pr(lo) >= 1: always lo, no draw.
+  NextTernaryWords(a, kMax, kMax, &lo_mask, &hi_mask);
+  EXPECT_EQ(lo_mask, ~0ULL);
+  EXPECT_EQ(hi_mask, 0ULL);
+  // Pr(lo) = 0, Pr(lo) + Pr(hi) >= 1: always hi, no draw.
+  NextTernaryWords(a, 0, kMax, &lo_mask, &hi_mask);
+  EXPECT_EQ(lo_mask, 0ULL);
+  EXPECT_EQ(hi_mask, ~0ULL);
+  // Both cuts 0: always incomparable, no draw.
+  NextTernaryWords(a, 0, 0, &lo_mask, &hi_mask);
+  EXPECT_EQ(lo_mask, 0ULL);
+  EXPECT_EQ(hi_mask, 0ULL);
+  EXPECT_EQ(a.NextUint64(), twin.NextUint64());  // stream untouched
+}
+
+TEST(NextBernoulliWords8Test, LanesMatchForkedScalarGenerators) {
+  // OctoRng lane l is seeded from the l-th Fork() of the parent, and a
+  // dyadic threshold 2^63 consumes exactly one word per lane with mask
+  // ~word — so the wide call must reproduce eight scalar Rng streams.
+  Rng parent(91), twin(91);
+  OctoRng oct(parent);
+  std::uint64_t out[OctoRng::kLanes];
+  NextBernoulliWords8(oct, 1ULL << 63, out);
+  for (int l = 0; l < OctoRng::kLanes; ++l) {
+    Rng lane(twin.Fork());
+    EXPECT_EQ(out[l], ~lane.NextUint64()) << "lane " << l;
+  }
+}
+
+TEST(NextBernoulliWords8Test, DispatchMatchesScalarReference) {
+  // Whatever kernel the CPU dispatch picks must be word-for-word equal
+  // to the portable reference — the ISA is speed, never semantics.
+  Rng pa(17), pb(17);
+  OctoRng a(pa), b(pb);
+  std::uint64_t da[OctoRng::kLanes], db[OctoRng::kLanes];
+  Rng thresholds(3);
+  for (int i = 0; i < 512; ++i) {
+    const std::uint64_t threshold = thresholds.NextUint64();
+    NextBernoulliWords8(a, threshold, da);
+    internal::NextBernoulliWords8Scalar(b, threshold, db);
+    for (int l = 0; l < OctoRng::kLanes; ++l) {
+      ASSERT_EQ(da[l], db[l]) << "threshold " << threshold << " lane " << l;
+    }
+  }
+}
+
+TEST(NextBernoulliWords8Test, SentinelsAreExactAndFree) {
+  Rng pa(41), twin(41);
+  OctoRng oct(pa);
+  OctoRng copy(twin);
+  std::uint64_t out[OctoRng::kLanes];
+  NextBernoulliWords8(oct, 0, out);
+  for (std::uint64_t w : out) EXPECT_EQ(w, 0ULL);
+  NextBernoulliWords8(oct, std::numeric_limits<std::uint64_t>::max(), out);
+  for (std::uint64_t w : out) EXPECT_EQ(w, ~0ULL);
+  // Neither sentinel advanced any lane.
+  for (int w = 0; w < 4; ++w) {
+    for (int l = 0; l < OctoRng::kLanes; ++l) {
+      EXPECT_EQ(oct.s[w][l], copy.s[w][l]);
+    }
+  }
+}
+
+TEST(NextBernoulliWords8Test, FullPrecisionMeanMatchesThreshold) {
+  const std::uint64_t threshold = internal::BernoulliThreshold(1.0 / 3.0);
+  Rng parent(2024);
+  OctoRng oct(parent);
+  std::uint64_t out[OctoRng::kLanes];
+  const int kCalls = 8192;
+  std::int64_t hits = 0;
+  for (int i = 0; i < kCalls; ++i) {
+    NextBernoulliWords8(oct, threshold, out);
+    for (std::uint64_t w : out) hits += std::popcount(w);
+  }
+  const double n = 64.0 * OctoRng::kLanes * kCalls;
+  const double p = 1.0 / 3.0;
+  const double sigma = std::sqrt(n * p * (1.0 - p));
+  EXPECT_NEAR(static_cast<double>(hits), n * p, 5.0 * sigma);
 }
 
 TEST(RngTest, ForkProducesIndependentStreams) {

@@ -75,12 +75,13 @@ PRNG_CONSTRUCT_RE = re.compile(
     r"\b(SplitMix64|Xoshiro\w*)\s*(?:[A-Za-z_]\w*\s*)?[({]"
 )
 # Files allowed to build PRNG primitives directly: the generator's home,
-# and the two sampler engines whose seeding discipline IS the feature
+# and the sampler engines whose seeding discipline IS the feature
 # (documented block-seeding contracts, covered by determinism tests).
 PRNG_CONSTRUCT_HOMES = (
     "src/util/",
     "src/core/monte_carlo.cc",
     "src/core/sam_parallel.cc",
+    "src/core/sam_bitslice.cc",
 )
 STDOUT_RE = re.compile(r"std::cout|(?<![A-Za-z0-9_])printf\s*\(")
 FLOAT_LITERAL = r"[0-9]+\.[0-9]*(?:[eE][+-]?[0-9]+)?[fFlL]?"
