@@ -1,0 +1,19 @@
+# Clang Thread Safety Analysis (-Wthread-safety).
+#
+# The annotations live in src/util/thread_annotations.h; this module turns
+# them into a compile-time gate. Clang-only: GCC accepts the no-op macro
+# expansions but has no analysis, so the flags are added solely under a
+# Clang compiler id. The CI "thread-safety" job builds with clang to keep
+# the tree clean; violations are promoted to hard errors so an unguarded
+# access to a SKYPREF_GUARDED_BY field cannot merge.
+#
+# SKYPREF_THREAD_SAFETY=OFF opts out (e.g. to bisect an unrelated clang
+# issue without fighting the analysis).
+
+option(SKYPREF_THREAD_SAFETY
+  "Enable clang -Wthread-safety analysis (no effect on GCC)" ON)
+
+if(SKYPREF_THREAD_SAFETY AND CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+  target_compile_options(skypref_warnings INTERFACE
+    -Wthread-safety -Werror=thread-safety-analysis)
+endif()

@@ -132,6 +132,10 @@ Result<AllWorldsResult> EstimateAllSkylineProbabilities(
         "all-worlds estimation needs samples > 0 (or valid epsilon/delta)");
   }
 
+  const Deadline deadline = options.deadline.has_value()
+                                ? *options.deadline
+                                : Deadline::After(options.time_limit_seconds);
+
   SharedWorldSampler sampler(data, model);
   Rng rng(options.seed);
   AllWorldsResult result;
@@ -139,6 +143,12 @@ Result<AllWorldsResult> EstimateAllSkylineProbabilities(
   std::vector<std::uint64_t> survived(n, 0);
 
   for (std::uint64_t h = 0; h < samples; ++h) {
+    // Poll every 64 worlds — one world touches every object, so this is
+    // already a coarse-grained checkpoint; h == 0 is included so a
+    // pre-cancelled token stops before any sampling work.
+    if ((h & 63) == 0) {
+      SKYPREF_RETURN_IF_ERROR(CheckStop(options.cancel, deadline));
+    }
     sampler.NextWorld();
     for (ObjectId i = 0; i < n; ++i) {
       if (sampler.Survives(i, rng, &result.pair_draws)) ++survived[i];

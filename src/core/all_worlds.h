@@ -25,12 +25,14 @@
 /// epsilon simultaneously with confidence 1 - delta.
 
 #include <cstdint>
+#include <optional>
 #include <utility>
 #include <vector>
 
 #include "src/model/dataset.h"
 #include "src/model/preference_model.h"
 #include "src/model/types.h"
+#include "src/util/cancel.h"
 #include "src/util/random.h"
 #include "src/util/status.h"
 
@@ -43,6 +45,14 @@ struct AllWorldsOptions {
   /// bound over all objects.
   std::uint64_t samples = 0;
   std::uint64_t seed = 0xa11c0e5ULL;
+  /// Cooperative stop signals (src/util/cancel.h), polled every 64 worlds.
+  /// Cancellation -> Status::Cancelled; expiry -> ResourceExhausted.
+  const CancelToken* cancel = nullptr;
+  /// Absolute deadline; wins over time_limit_seconds when both are set.
+  std::optional<Deadline> deadline;
+  /// Relative budget resolved to a deadline when the estimate starts;
+  /// non-positive = unlimited.
+  double time_limit_seconds = 0.0;
 };
 
 struct AllWorldsResult {

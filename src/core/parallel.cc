@@ -13,6 +13,7 @@
 #include "src/core/absorption.h"
 #include "src/core/exact.h"
 #include "src/core/partition.h"
+#include "src/util/cancel.h"
 #include "src/util/check.h"
 #include "src/util/hash.h"
 #include "src/util/random.h"
@@ -158,6 +159,11 @@ PairKey MakePairKey(DimensionId dim, ValueId a, ValueId b) {
 /// Oracle reading the shared precomputed probability table. Entries are
 /// the exact doubles PreferenceModel::LessEq produced, so solves through
 /// this oracle are bit-identical to uncached ones.
+///
+/// Concurrency contract: the cache is built serially in Phase B and is
+/// immutable by the time worker threads read it through this oracle, so
+/// it carries no mutex and no SKYPREF_GUARDED_BY — const-shared, not
+/// lock-protected.
 class CachedDoubleOracle {
  public:
   using NumType = double;
@@ -255,6 +261,9 @@ Result<std::vector<double>> BatchExactSkylineProbabilities(
   std::vector<double> weight(n, 0.0);
   for (ObjectId t = 0; t < n; ++t) {
     for (const auto& group : groups[t]) {
+      // Scheduling heuristic only — never part of a returned probability,
+      // so plain summation is fine here.
+      // skypref-analyze: allow(kahan-discipline)
       weight[t] += std::ldexp(
           1.0, static_cast<int>(std::min<std::size_t>(group.size(), 512)));
     }
@@ -422,24 +431,41 @@ Result<AllWorldsResult> ParallelEstimateAllSkylineProbabilities(
   const std::uint32_t chunks = static_cast<std::uint32_t>(
       std::min<std::uint64_t>(parallel.sample_chunks, samples));
 
+  const Deadline deadline = options.deadline.has_value()
+                                ? *options.deadline
+                                : Deadline::After(options.time_limit_seconds);
+
   // One master plan, cloned per chunk (the per-world memo tables must not
   // be shared across concurrently sampled worlds).
   SharedWorldSampler master(data, model);
   std::vector<std::vector<std::uint64_t>> survived(
       chunks, std::vector<std::uint64_t>(n, 0));
   std::vector<std::uint64_t> draws(chunks, 0);
+  std::vector<Status> statuses(chunks, Status::OK());
   pool.ParallelFor(chunks, [&](std::size_t c) {
     SharedWorldSampler sampler = master;  // value copy
     Rng rng(HashMix(options.seed ^ (0xa24baed4963ee407ULL * (c + 1))));
     std::uint64_t chunk_samples =
         ChunkSize(samples, chunks, static_cast<std::uint32_t>(c));
     for (std::uint64_t h = 0; h < chunk_samples; ++h) {
+      // Same 64-world poll cadence as the serial estimator; h == 0 makes
+      // a pre-cancelled token fail at every thread count identically.
+      if ((h & 63) == 0) {
+        Status stop = CheckStop(options.cancel, deadline);
+        if (!stop.ok()) {
+          statuses[c] = std::move(stop);
+          return;
+        }
+      }
       sampler.NextWorld();
       for (ObjectId i = 0; i < n; ++i) {
         if (sampler.Survives(i, rng, &draws[c])) ++survived[c][i];
       }
     }
   });
+  for (std::uint32_t c = 0; c < chunks; ++c) {
+    SKYPREF_RETURN_IF_ERROR(statuses[c]);
+  }
 
   AllWorldsResult result;
   result.samples = samples;
@@ -447,6 +473,9 @@ Result<AllWorldsResult> ParallelEstimateAllSkylineProbabilities(
   for (std::uint32_t c = 0; c < chunks; ++c) {
     result.pair_draws += draws[c];
     for (ObjectId i = 0; i < n; ++i) {
+      // Fixed block-order sum of exact integer counts (each < 2^53):
+      // bit-identical at every thread count, no compensation needed.
+      // skypref-analyze: allow(kahan-discipline)
       result.estimates[i] += static_cast<double>(survived[c][i]);
     }
   }

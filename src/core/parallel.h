@@ -49,7 +49,6 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <vector>
 
 #include "src/core/all_worlds.h"
@@ -59,6 +58,7 @@
 #include "src/model/dataset.h"
 #include "src/model/preference_model.h"
 #include "src/util/status.h"
+#include "src/util/thread_annotations.h"
 #include "src/util/thread_pool.h"
 
 namespace skypref {
@@ -374,16 +374,16 @@ class ParallelExactEngine {
 
   bool Aborted() const { return abort_.load(std::memory_order_acquire); }
 
-  void RecordAbort(const Status& status) {
+  void RecordAbort(const Status& status) SKYPREF_EXCLUDES(abort_mutex_) {
     {
-      std::lock_guard<std::mutex> lock(abort_mutex_);
+      MutexLock lock(abort_mutex_);
       if (abort_status_.ok()) abort_status_ = status;
     }
     abort_.store(true, std::memory_order_release);
   }
 
-  Status AbortStatus() {
-    std::lock_guard<std::mutex> lock(abort_mutex_);
+  Status AbortStatus() SKYPREF_EXCLUDES(abort_mutex_) {
+    MutexLock lock(abort_mutex_);
     return abort_status_.ok()
                ? Status::ResourceExhausted("exact solve aborted")
                : abort_status_;
@@ -406,8 +406,8 @@ class ParallelExactEngine {
   std::vector<Status> task_statuses_;
   std::atomic<std::uint64_t> charged_{0};
   std::atomic<bool> abort_{false};
-  std::mutex abort_mutex_;
-  Status abort_status_;
+  Mutex abort_mutex_;
+  Status abort_status_ SKYPREF_GUARDED_BY(abort_mutex_);
 };
 
 }  // namespace internal

@@ -257,13 +257,17 @@ Result<ResilientResult> ResilientSkylineProbability(
     result.groups.push_back(std::move(report));
   }
 
-  // Theorem-4 recombination with the telescoping error bound.
+  // Theorem-4 recombination with the telescoping error bound. The
+  // epsilon/delta sums run over a handful of groups in fixed partition
+  // order — compensation would change the published bound for nothing.
   double product = 1.0;
   for (const GroupReport& report : result.groups) {
     product *= report.survival;
     result.lower *= report.lower;
     result.upper *= report.upper;
+    // skypref-analyze: allow(kahan-discipline)
     result.epsilon += report.epsilon;
+    // skypref-analyze: allow(kahan-discipline)
     result.delta += report.delta;
   }
   result.estimate = ClampProbability(product);

@@ -16,6 +16,8 @@ namespace internal {
 FlatSamInstance BuildFlatSamInstance(const Dataset& data, ObjectId target,
                                      std::span<const ObjectId> candidates,
                                      const PreferenceModel& model) {
+  // Built serially before any block worker starts; the instance is then
+  // read-only shared state across threads (const-shared, no mutex).
   const DimensionId d = static_cast<DimensionId>(data.dimensions());
   FlatSamInstance inst;
   std::unordered_map<std::pair<DimensionId, ValueId>, std::uint32_t, PairHash>

@@ -226,6 +226,7 @@ Result<double> ExpectedSkylineCardinality(const Dataset& data,
   // Plain left-to-right sum in target order: the legacy overload summed the
   // per-target results the same way, so the total stays bit-identical.
   double total = 0.0;
+  // skypref-analyze: allow(kahan-discipline)
   for (double sky : skylines) total += sky;
   return total;
 }

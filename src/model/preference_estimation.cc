@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/util/check.h"
+
 namespace skypref {
 
 VoteAggregator::VoteAggregator(double smoothing)
@@ -54,18 +56,45 @@ std::uint64_t VoteAggregator::VoteCount(DimensionId dim, ValueId a,
   return it->second.lo_wins + it->second.hi_wins + it->second.incomparable;
 }
 
+std::vector<VoteAggregator::VotedPair> VoteAggregator::VotedPairs() const {
+  std::vector<VotedPair> pairs;
+  pairs.reserve(counts_.size());
+  // Collection order is irrelevant: the vector is fully sorted below.
+  // skypref-analyze: allow(unordered-iter)
+  for (const auto& [key, tally] : counts_) {
+    (void)tally;
+    pairs.push_back(VotedPair{key.dim, key.lo, key.hi});
+  }
+  std::sort(pairs.begin(), pairs.end(),
+            [](const VotedPair& a, const VotedPair& b) {
+              if (a.dim != b.dim) return a.dim < b.dim;
+              if (a.lo != b.lo) return a.lo < b.lo;
+              return a.hi < b.hi;
+            });
+  return pairs;
+}
+
 Result<TablePreferenceModel> VoteAggregator::BuildModel(
     PrefPair default_pair) const {
   SKYPREF_RETURN_IF_ERROR(default_pair.Validate());
   TablePreferenceModel model(default_pair);
-  for (const auto& [key, tally] : counts_) {
+  // Iterate the SORTED pair list, not counts_ directly: hash-map order
+  // depends on insertion history, and the model's internal bookkeeping
+  // (and any downstream serialization) must not inherit that
+  // nondeterminism. tools/skypref_analyze.py's unordered-iter check
+  // flags the direct range-for this replaced.
+  for (const VotedPair& pair : VotedPairs()) {
+    auto it = counts_.find(Key{pair.dim, pair.lo, pair.hi});
+    SKYPREF_DCHECK(it != counts_.end());
+    const Tally& tally = it->second;
     double total = static_cast<double>(tally.lo_wins + tally.hi_wins +
                                        tally.incomparable) +
                    3.0 * smoothing_;
     if (total == 0.0) continue;  // smoothing 0 and no votes: keep default
     double less = (static_cast<double>(tally.lo_wins) + smoothing_) / total;
     double greater = (static_cast<double>(tally.hi_wins) + smoothing_) / total;
-    SKYPREF_RETURN_IF_ERROR(model.Set(key.dim, key.lo, key.hi, less, greater));
+    SKYPREF_RETURN_IF_ERROR(
+        model.Set(pair.dim, pair.lo, pair.hi, less, greater));
   }
   return model;
 }

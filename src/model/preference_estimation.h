@@ -19,6 +19,7 @@
 /// construction.
 
 #include <cstdint>
+#include <vector>
 
 #include "src/model/preference_model.h"
 #include "src/model/types.h"
@@ -58,6 +59,19 @@ class VoteAggregator {
 
   /// Number of distinct pairs with at least one vote.
   std::size_t pair_count() const { return counts_.size(); }
+
+  /// One voted-on value pair (lo < hi by construction).
+  struct VotedPair {
+    DimensionId dim;
+    ValueId lo;
+    ValueId hi;
+  };
+
+  /// Every pair with at least one vote, sorted by (dim, lo, hi). The
+  /// tallies live in a hash map, so this is the deterministic iteration
+  /// order for anything user-visible — BuildModel emits in this order
+  /// regardless of vote insertion order.
+  std::vector<VotedPair> VotedPairs() const;
 
   /// Builds the smoothed preference model. Pairs with no votes are not
   /// materialized and resolve to \p default_pair.

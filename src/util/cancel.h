@@ -35,6 +35,11 @@
 /// Both types are cheap values. CancelToken copies share one flag
 /// (shared_ptr<atomic<bool>>), so a caller keeps one token, hands copies
 /// (or a pointer) to solver options, and flips it from any thread.
+///
+/// Everything here is lock-free on purpose: polls sit on solver hot
+/// paths, so there is no mutex and nothing for -Wthread-safety to guard
+/// (see src/util/thread_annotations.h for the annotated-lock conventions
+/// the rest of the tree follows).
 
 #include <atomic>
 #include <chrono>

@@ -2,8 +2,9 @@
 
 #include <atomic>
 #include <map>
-#include <mutex>
 #include <string>
+
+#include "src/util/thread_annotations.h"
 
 namespace skypref {
 namespace failpoint {
@@ -16,8 +17,8 @@ struct Site {
 };
 
 struct Registry {
-  std::mutex mutex;
-  std::map<std::string, Site> sites;
+  Mutex mutex;
+  std::map<std::string, Site> sites SKYPREF_GUARDED_BY(mutex);
 };
 
 Registry& GetRegistry() {
@@ -36,7 +37,7 @@ std::atomic<int> g_armed{0};
 
 void Arm(const char* site, std::uint64_t fire_on_hit) {
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mutex);
+  MutexLock lock(registry.mutex);
   auto [it, inserted] = registry.sites.try_emplace(site);
   if (inserted) g_armed.fetch_add(1, std::memory_order_relaxed);
   it->second.fire_on_hit = fire_on_hit == 0 ? 1 : fire_on_hit;
@@ -45,7 +46,7 @@ void Arm(const char* site, std::uint64_t fire_on_hit) {
 
 void Disarm(const char* site) {
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mutex);
+  MutexLock lock(registry.mutex);
   if (registry.sites.erase(site) > 0) {
     g_armed.fetch_sub(1, std::memory_order_relaxed);
   }
@@ -53,7 +54,7 @@ void Disarm(const char* site) {
 
 void DisarmAll() {
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mutex);
+  MutexLock lock(registry.mutex);
   g_armed.fetch_sub(static_cast<int>(registry.sites.size()),
                     std::memory_order_relaxed);
   registry.sites.clear();
@@ -61,7 +62,7 @@ void DisarmAll() {
 
 std::uint64_t HitCount(const char* site) {
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mutex);
+  MutexLock lock(registry.mutex);
   auto it = registry.sites.find(site);
   if (it == registry.sites.end()) return 0;
   return it->second.hits.load(std::memory_order_relaxed);
@@ -70,7 +71,7 @@ std::uint64_t HitCount(const char* site) {
 bool Hit(const char* site) {
   if (g_armed.load(std::memory_order_relaxed) == 0) return false;
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mutex);
+  MutexLock lock(registry.mutex);
   auto it = registry.sites.find(site);
   if (it == registry.sites.end()) return false;
   std::uint64_t hit =

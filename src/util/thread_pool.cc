@@ -15,7 +15,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutting_down_ = true;
   }
   work_available_.notify_all();
@@ -28,20 +28,28 @@ std::size_t ThreadPool::DefaultThreads() {
 }
 
 void ThreadPool::WorkerLoop() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  // Manual Lock/Unlock instead of a scope: the lock is dropped around the
+  // user callback and re-taken for the bookkeeping, a protocol RAII
+  // cannot express. The analysis still checks the pairing balances on
+  // every path.
+  mutex_.Lock();
   while (true) {
-    work_available_.wait(lock, [this] {
-      return shutting_down_ || (current_fn_ != nullptr &&
-                                next_index_ < end_index_);
+    work_available_.wait(mutex_, [this] {
+      mutex_.AssertHeld();  // the condition variable holds it during eval
+      return shutting_down_ ||
+             (current_fn_ != nullptr && next_index_ < end_index_);
     });
-    if (shutting_down_) return;
+    if (shutting_down_) {
+      mutex_.Unlock();
+      return;
+    }
     while (current_fn_ != nullptr && next_index_ < end_index_) {
       std::size_t index = next_index_++;
       ++in_flight_;
       const auto* fn = current_fn_;
-      lock.unlock();
+      mutex_.Unlock();
       (*fn)(index);
-      lock.lock();
+      mutex_.Lock();
       --in_flight_;
     }
     work_done_.notify_all();
@@ -60,7 +68,7 @@ void ThreadPool::ParallelFor(std::size_t count,
     for (std::size_t i = 0; i < count; ++i) fn(i);
     return;
   }
-  std::unique_lock<std::mutex> lock(mutex_);
+  mutex_.Lock();
   current_fn_ = &fn;
   next_index_ = 0;
   end_index_ = count;
@@ -69,13 +77,17 @@ void ThreadPool::ParallelFor(std::size_t count,
   while (next_index_ < end_index_) {
     std::size_t index = next_index_++;
     ++in_flight_;
-    lock.unlock();
+    mutex_.Unlock();
     fn(index);
-    lock.lock();
+    mutex_.Lock();
     --in_flight_;
   }
-  work_done_.wait(lock, [this] { return in_flight_ == 0; });
+  work_done_.wait(mutex_, [this] {
+    mutex_.AssertHeld();
+    return in_flight_ == 0;
+  });
   current_fn_ = nullptr;
+  mutex_.Unlock();
 }
 
 }  // namespace skypref

@@ -14,10 +14,11 @@
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "src/util/thread_annotations.h"
 
 namespace skypref {
 
@@ -38,25 +39,31 @@ class ThreadPool {
   /// (the library is exception-free; fn reports failures via captured
   /// state).
   void ParallelFor(std::size_t count,
-                   const std::function<void(std::size_t)>& fn);
+                   const std::function<void(std::size_t)>& fn)
+      SKYPREF_EXCLUDES(mutex_);
 
   /// A sensible default: hardware concurrency minus one (the caller's
   /// thread participates via ParallelFor), at least 1.
   static std::size_t DefaultThreads();
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() SKYPREF_EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
-  std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::condition_variable work_done_;
+  // Dispatch protocol state. The condition variables wait on the
+  // annotated Mutex directly (condition_variable_any + the wrapper's
+  // BasicLockable aliases), so every read/write of the guarded fields is
+  // provably under mutex_ — clang's -Wthread-safety checks it.
+  Mutex mutex_;
+  std::condition_variable_any work_available_;
+  std::condition_variable_any work_done_;
   // Current ParallelFor batch.
-  const std::function<void(std::size_t)>* current_fn_ = nullptr;
-  std::size_t next_index_ = 0;
-  std::size_t end_index_ = 0;
-  std::size_t in_flight_ = 0;
-  bool shutting_down_ = false;
+  const std::function<void(std::size_t)>* current_fn_
+      SKYPREF_GUARDED_BY(mutex_) = nullptr;
+  std::size_t next_index_ SKYPREF_GUARDED_BY(mutex_) = 0;
+  std::size_t end_index_ SKYPREF_GUARDED_BY(mutex_) = 0;
+  std::size_t in_flight_ SKYPREF_GUARDED_BY(mutex_) = 0;
+  bool shutting_down_ SKYPREF_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace skypref

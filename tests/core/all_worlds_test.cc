@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+
 #include "src/core/exact.h"
 #include "test_util.h"
 
@@ -127,6 +129,38 @@ TEST(TopKSkylineTest, RanksByEstimate) {
   ASSERT_EQ(top.size(), 3u);
   EXPECT_GE(top[0].second, top[1].second);
   EXPECT_GE(top[1].second, top[2].second);
+}
+
+TEST(AllWorldsTest, PreCancelledTokenCancelsBeforeSampling) {
+  Dataset data = Figure1Dataset();
+  TablePreferenceModel model;
+  CancelToken token;
+  token.RequestCancel();
+  AllWorldsOptions options;
+  options.samples = 100000;
+  options.cancel = &token;
+  EXPECT_EQ(
+      EstimateAllSkylineProbabilities(data, model, options).status().code(),
+      StatusCode::kCancelled);
+}
+
+TEST(AllWorldsTest, ExpiredDeadlineExhaustsTheEstimate) {
+  Dataset data = Figure1Dataset();
+  TablePreferenceModel model;
+  AllWorldsOptions options;
+  options.samples = 100000;
+  options.deadline = Deadline::At(Deadline::Clock::now() -
+                                  std::chrono::seconds(1));
+  EXPECT_EQ(
+      EstimateAllSkylineProbabilities(data, model, options).status().code(),
+      StatusCode::kResourceExhausted);
+  // Cancellation wins over an expired deadline.
+  CancelToken token;
+  token.RequestCancel();
+  options.cancel = &token;
+  EXPECT_EQ(
+      EstimateAllSkylineProbabilities(data, model, options).status().code(),
+      StatusCode::kCancelled);
 }
 
 TEST(TopKSkylineTest, KLargerThanDatasetReturnsAll) {

@@ -296,6 +296,40 @@ TEST(ParallelMonteCarloTest, PreCancelledTokenCancels) {
             StatusCode::kCancelled);
 }
 
+TEST(ParallelAllWorldsTest, PreCancelledTokenCancelsAtEveryThreadCount) {
+  Dataset data = Example1Dataset();
+  TablePreferenceModel model;
+  CancelToken token;
+  token.RequestCancel();
+  AllWorldsOptions options;
+  options.samples = 40000;
+  options.cancel = &token;
+  for (std::size_t threads : {0u, 1u, 4u}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(
+        ParallelEstimateAllSkylineProbabilities(data, model, pool, options)
+            .status()
+            .code(),
+        StatusCode::kCancelled)
+        << "threads " << threads;
+  }
+}
+
+TEST(ParallelAllWorldsTest, ExpiredDeadlineExhaustsEveryChunk) {
+  Dataset data = Example1Dataset();
+  TablePreferenceModel model;
+  ThreadPool pool(4);
+  AllWorldsOptions options;
+  options.samples = 40000;
+  options.deadline = Deadline::At(Deadline::Clock::now() -
+                                  std::chrono::seconds(1));
+  EXPECT_EQ(
+      ParallelEstimateAllSkylineProbabilities(data, model, pool, options)
+          .status()
+          .code(),
+      StatusCode::kResourceExhausted);
+}
+
 TEST(ParallelAllWorldsTest, RejectsInvalidInputs) {
   Dataset data = Example1Dataset();
   TablePreferenceModel model;

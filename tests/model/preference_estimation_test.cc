@@ -2,8 +2,20 @@
 
 #include <gtest/gtest.h>
 
+#include <tuple>
+#include <vector>
+
 namespace skypref {
 namespace {
+
+std::vector<std::tuple<DimensionId, ValueId, ValueId>> PairTuples(
+    const VoteAggregator& votes) {
+  std::vector<std::tuple<DimensionId, ValueId, ValueId>> out;
+  for (const VoteAggregator::VotedPair& pair : votes.VotedPairs()) {
+    out.emplace_back(pair.dim, pair.lo, pair.hi);
+  }
+  return out;
+}
 
 TEST(VoteAggregatorTest, RawFrequenciesWithoutSmoothing) {
   VoteAggregator votes(/*smoothing=*/0.0);
@@ -96,6 +108,38 @@ TEST(VoteAggregatorTest, NegativeSmoothingClampedToZero) {
 TEST(VoteAggregatorTest, BuildModelValidatesDefaultPair) {
   VoteAggregator votes;
   EXPECT_FALSE(votes.BuildModel(PrefPair{0.8, 0.8}).ok());
+}
+
+TEST(VoteAggregatorTest, VotedPairsSortedRegardlessOfInsertionOrder) {
+  // Two aggregators fed the same votes in different orders must expose
+  // the identical (dim, lo, hi)-sorted pair stream: the tallies live in
+  // a hash map, and BuildModel's emission order (hence the model's
+  // internal bookkeeping) must not leak hash/insertion order.
+  VoteAggregator forward(1.0);
+  forward.AddVotes(0, 1, 2, 3, 1).CheckOK();
+  forward.AddVotes(0, 1, 3, 2, 2).CheckOK();
+  forward.AddVotes(1, 4, 9, 1, 0).CheckOK();
+  forward.AddVotes(2, 0, 7, 0, 5).CheckOK();
+
+  VoteAggregator reversed(1.0);
+  reversed.AddVotes(2, 7, 0, 5, 0).CheckOK();  // flipped orientation too
+  reversed.AddVotes(1, 4, 9, 1, 0).CheckOK();
+  reversed.AddVotes(0, 3, 1, 2, 2).CheckOK();
+  reversed.AddVotes(0, 1, 2, 3, 1).CheckOK();
+
+  std::vector<std::tuple<DimensionId, ValueId, ValueId>> expected = {
+      {0, 1, 2}, {0, 1, 3}, {1, 4, 9}, {2, 0, 7}};
+  EXPECT_EQ(PairTuples(forward), expected);
+  EXPECT_EQ(PairTuples(reversed), expected);
+
+  // And the models built from both agree pairwise.
+  TablePreferenceModel a = forward.BuildModel().value();
+  TablePreferenceModel b = reversed.BuildModel().value();
+  for (const auto& [dim, lo, hi] : expected) {
+    EXPECT_DOUBLE_EQ(a.GetPair(dim, lo, hi).less, b.GetPair(dim, lo, hi).less);
+    EXPECT_DOUBLE_EQ(a.GetPair(dim, lo, hi).greater,
+                     b.GetPair(dim, lo, hi).greater);
+  }
 }
 
 }  // namespace

@@ -300,6 +300,72 @@ class DiscardedStatusRule(LintHarness):
         self.assertIn("src/core/user.cc:2: [discarded-status]", out)
 
 
+class MutexGuardedByRule(LintHarness):
+    def test_unguarded_std_mutex_member_flagged(self):
+        self.write("src/core/x.cc",
+                   "class C {\n"
+                   "  std::mutex mutex_;\n"
+                   "  int value_ = 0;\n"
+                   "};\n")
+        self.assertIn("mutex-guarded-by", self.rules("src/core/x.cc"))
+
+    def test_unguarded_wrapper_mutex_flagged(self):
+        self.write("src/core/x.cc",
+                   "class C {\n"
+                   "  Mutex mutex_;\n"
+                   "  int value_ = 0;\n"
+                   "};\n")
+        self.assertIn("mutex-guarded-by", self.rules("src/core/x.cc"))
+
+    def test_guarded_sibling_passes(self):
+        self.write("src/core/x.cc",
+                   "class C {\n"
+                   "  Mutex mutex_;\n"
+                   "  int value_ SKYPREF_GUARDED_BY(mutex_) = 0;\n"
+                   "};\n")
+        self.assertEqual(self.rules("src/core/x.cc"), [])
+
+    def test_guard_must_name_the_same_mutex(self):
+        self.write("src/core/x.cc",
+                   "class C {\n"
+                   "  Mutex a_;\n"
+                   "  Mutex b_;\n"
+                   "  int value_ SKYPREF_GUARDED_BY(a_) = 0;\n"
+                   "};\n")
+        self.assertEqual(self.rules("src/core/x.cc").count("mutex-guarded-by"),
+                         1)
+
+    def test_mutex_lock_local_not_flagged(self):
+        self.write("src/core/x.cc",
+                   "void F(Mutex& m) {\n"
+                   "  MutexLock lock(m);\n"
+                   "}\n")
+        self.assertEqual(self.rules("src/core/x.cc"), [])
+
+    def test_wrapper_home_exempt(self):
+        self.write("src/util/thread_annotations.h",
+                   "#ifndef SKYPREF_UTIL_THREAD_ANNOTATIONS_H_\n"
+                   "#define SKYPREF_UTIL_THREAD_ANNOTATIONS_H_\n"
+                   "class Mutex {\n"
+                   "  std::mutex mutex_;\n"
+                   "};\n"
+                   "#endif  // SKYPREF_UTIL_THREAD_ANNOTATIONS_H_\n")
+        self.assertEqual(self.rules("src/util/thread_annotations.h"), [])
+
+    def test_mutex_mention_in_comment_ignored(self):
+        self.write("src/core/x.cc",
+                   "// takes std::mutex coordination_ by contract\n"
+                   "void F() {}\n")
+        self.assertEqual(self.rules("src/core/x.cc"), [])
+
+    def test_suppression_comment(self):
+        self.write("src/core/x.cc",
+                   "class C {\n"
+                   "  Mutex mutex_;  // skypref-lint: allow(mutex-guarded-by)\n"
+                   "};\n")
+        self.assertEqual(self.rules("src/core/x.cc"), [])
+
+
 class CliBehavior(LintHarness):
     def test_clean_tree_exits_zero(self):
         self.write("src/core/x.cc", "int F() { return 1; }\n")

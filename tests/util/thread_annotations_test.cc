@@ -1,0 +1,97 @@
+#include "src/util/thread_annotations.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace skypref {
+namespace {
+
+// Stringification with one indirection so the macro arguments expand
+// first: under GCC (and anything that is not clang) every annotation
+// must vanish completely — annotated code compiles as if the macros were
+// never there.
+#define SKYPREF_TEST_STR_INNER(x) #x
+#define SKYPREF_TEST_STR(x) SKYPREF_TEST_STR_INNER(x)
+
+#if !defined(__clang__)
+TEST(ThreadAnnotationsTest, MacrosAreNoOpsOutsideClang) {
+  EXPECT_STREQ(SKYPREF_TEST_STR(SKYPREF_CAPABILITY("mutex")), "");
+  EXPECT_STREQ(SKYPREF_TEST_STR(SKYPREF_SCOPED_CAPABILITY), "");
+  EXPECT_STREQ(SKYPREF_TEST_STR(SKYPREF_GUARDED_BY(m)), "");
+  EXPECT_STREQ(SKYPREF_TEST_STR(SKYPREF_PT_GUARDED_BY(m)), "");
+  EXPECT_STREQ(SKYPREF_TEST_STR(SKYPREF_REQUIRES(m)), "");
+  EXPECT_STREQ(SKYPREF_TEST_STR(SKYPREF_ACQUIRE(m)), "");
+  EXPECT_STREQ(SKYPREF_TEST_STR(SKYPREF_RELEASE(m)), "");
+  EXPECT_STREQ(SKYPREF_TEST_STR(SKYPREF_TRY_ACQUIRE(true, m)), "");
+  EXPECT_STREQ(SKYPREF_TEST_STR(SKYPREF_EXCLUDES(m)), "");
+  EXPECT_STREQ(SKYPREF_TEST_STR(SKYPREF_ASSERT_CAPABILITY(m)), "");
+  EXPECT_STREQ(SKYPREF_TEST_STR(SKYPREF_RETURN_CAPABILITY(m)), "");
+  EXPECT_STREQ(SKYPREF_TEST_STR(SKYPREF_NO_THREAD_SAFETY_ANALYSIS), "");
+}
+#else
+TEST(ThreadAnnotationsTest, MacrosExpandToAttributesUnderClang) {
+  EXPECT_NE(SKYPREF_TEST_STR(SKYPREF_GUARDED_BY(m))[0], '\0');
+}
+#endif
+
+#undef SKYPREF_TEST_STR
+#undef SKYPREF_TEST_STR_INNER
+
+// The annotated wrapper must behave exactly like the std primitives it
+// wraps, on every compiler.
+class Counter {
+ public:
+  void Increment() SKYPREF_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    ++value_;
+  }
+
+  void IncrementManually() SKYPREF_EXCLUDES(mutex_) {
+    mutex_.Lock();
+    ++value_;
+    mutex_.Unlock();
+  }
+
+  bool TryIncrement() SKYPREF_EXCLUDES(mutex_) {
+    if (!mutex_.TryLock()) return false;
+    ++value_;
+    mutex_.Unlock();
+    return true;
+  }
+
+  int value() SKYPREF_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    return value_;
+  }
+
+ private:
+  Mutex mutex_;
+  int value_ SKYPREF_GUARDED_BY(mutex_) = 0;
+};
+
+TEST(ThreadAnnotationsTest, MutexLockExcludesRaces) {
+  Counter counter;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kPerThread; ++i) counter.Increment();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(), kThreads * kPerThread);
+}
+
+TEST(ThreadAnnotationsTest, ManualLockUnlockAndTryLock) {
+  Counter counter;
+  counter.IncrementManually();
+  EXPECT_TRUE(counter.TryIncrement());
+  EXPECT_EQ(counter.value(), 2);
+}
+
+}  // namespace
+}  // namespace skypref

@@ -39,6 +39,15 @@ in a trailing comment, which must state why):
                   linted tree, then flags single-line statements that
                   start with a call to one of them and neither assign,
                   chain, nor test the value.
+  mutex-guarded-by
+                  A mutex member (std::mutex or skypref::Mutex) whose
+                  file carries no SKYPREF_GUARDED_BY(<that member>) on
+                  any sibling field. A lock that guards nothing named is
+                  a lock whose contract lives in the author's head;
+                  clang -Wthread-safety can only prove what the
+                  annotations state (src/util/thread_annotations.h has
+                  the conventions). The wrapper's own home file is
+                  exempt — it holds the one raw std::mutex by design.
 
 Usage:
   tools/skypref_lint.py [paths...]     # default: src/
@@ -64,6 +73,7 @@ RULE_NO_STDOUT = "no-stdout"
 RULE_FLOAT_EQ = "float-eq"
 RULE_INCLUDE_GUARD = "include-guard"
 RULE_DISCARDED_STATUS = "discarded-status"
+RULE_MUTEX_GUARDED_BY = "mutex-guarded-by"
 
 EXCEPTION_RE = re.compile(r"\b(throw|try|catch)\b")
 RAW_RANDOM_RE = re.compile(r"\b(?:s?rand)\s*\(|std::random_device")
@@ -88,6 +98,17 @@ FLOAT_LITERAL = r"[0-9]+\.[0-9]*(?:[eE][+-]?[0-9]+)?[fFlL]?"
 FLOAT_EQ_RE = re.compile(
     r"(?:(?:==|!=)\s*-?{lit})|(?:{lit}\s*(?:==|!=))".format(lit=FLOAT_LITERAL)
 )
+
+# A mutex member declaration: `std::mutex name;` or `Mutex name;`
+# (optionally skypref::-qualified). The mandatory space between the type
+# and the member name keeps `MutexLock lock(...)` from matching, and the
+# immediate `;` skips locals initialized with parentheses.
+MUTEX_MEMBER_RE = re.compile(
+    r"\b(?:std::mutex|(?:skypref::)?Mutex)\s+(\w+)\s*;"
+)
+# The one file allowed to hold an unannotated raw std::mutex: the
+# capability wrapper that every other mutex in the tree goes through.
+MUTEX_WRAPPER_HOME = "src/util/thread_annotations.h"
 
 # A declaration or definition whose return type is Status or Result<...>:
 # the function-name registry feeding the discarded-status rule.
@@ -275,6 +296,21 @@ def check_file(path: Path, repo_root: Path,
         if stripped:
             at_statement_start = (stripped[-1] in ";{}:"
                                   or stripped.startswith("#"))
+
+    if rel.as_posix() != MUTEX_WRAPPER_HOME:
+        full_code = "\n".join(code_lines)
+        for lineno, code in enumerate(code_lines, start=1):
+            for m in MUTEX_MEMBER_RE.finditer(code):
+                name = m.group(1)
+                guarded = re.search(
+                    r"SKYPREF_GUARDED_BY\(\s*{}\s*\)".format(re.escape(name)),
+                    full_code)
+                if not guarded:
+                    add(lineno, RULE_MUTEX_GUARDED_BY,
+                        f"mutex member '{name}' has no "
+                        f"SKYPREF_GUARDED_BY({name}) sibling field — "
+                        "annotate what the lock protects "
+                        "(src/util/thread_annotations.h)")
 
     if path.suffix in (".h", ".hpp"):
         guard = expected_guard(rel)
