@@ -12,7 +12,11 @@
 ///                    loop vs BatchExactSkylineProbabilities;
 ///   4. resilience  — the same Det solve with and without an armed
 ///                    CancelToken + deadline (cost of cooperative
-///                    cancellation polls in the DFS hot loop).
+///                    cancellation polls in the DFS hot loop);
+///   4b. chaos_quiet — the same Det solve with every failpoint site
+///                    armed on a never-firing schedule (cost of the
+///                    armed-consult slow path; ~0 in release builds
+///                    where the sites compile out).
 ///
 /// Every section cross-checks bit-identity so a perf number can never
 /// quietly come from a wrong answer. The binary is plain chrono + JSON —
@@ -58,6 +62,7 @@
 #include "src/core/sam_parallel.h"
 #include "src/core/solver.h"
 #include "src/model/preference_model.h"
+#include "src/util/failpoint.h"
 #include "src/util/cancel.h"
 #include "src/util/check.h"
 #include "src/workload/block_zipf_generator.h"
@@ -308,6 +313,83 @@ std::string BenchResilience() {
        << "    \"armed_seconds\": " << FormatDouble(armed_seconds) << ",\n"
        << "    \"overhead_percent\": " << FormatDouble(overhead_percent)
        << ",\n"
+       << "    \"bit_identical\": true\n"
+       << "  }";
+  return json.str();
+}
+
+/// Section 4b: chaos-armed-but-quiet overhead. The chaos sweep's cost
+/// model only holds if ARMING sites is cheap: a schedule that never
+/// fires (kSingle at an unreachable hit ordinal) still pays the armed
+/// slow path — registry snapshot plus one atomic increment per consult
+/// — at every site the solve crosses. The contract is < ~2% on the Det
+/// workload in failpoint builds; in release builds the macros compile
+/// to `false` and the row documents the (near-zero) baseline with
+/// failpoints_compiled_in = false.
+std::string BenchChaosQuiet() {
+  UniformOptions gen;
+  gen.objects = FullScale() ? 25 : 21;
+  gen.dimensions = 6;
+  gen.values_per_dimension = 50;
+  gen.seed = 7;
+  Dataset data = GenerateUniform(gen).value();
+  HashedPreferenceModel model(2013,
+                              HashedPreferenceModel::Style::kTotalUniform);
+
+  ExactOptions options;
+  options.engine = ExactOptions::Engine::kFlat;
+  options.prune_zero = false;  // fixed subset count for clean comparison
+
+  // Arm EVERY registered site with a schedule that can never fire: the
+  // kSingle pattern matches one exact hit ordinal, and no solve reaches
+  // 2^64 - 1 hits. Quiet and armed reps are interleaved (arming toggled
+  // per rep) so both mins sample the same machine-noise distribution —
+  // a sub-percent delta would otherwise drown on a shared runner.
+  failpoint::Schedule never;
+  never.kind = failpoint::FaultKind::kFail;
+  never.pattern = failpoint::Schedule::Pattern::kSingle;
+  never.n = ~std::uint64_t{0};
+  double quiet_value = 0.0, armed_value = 0.0;
+  ExactStats stats;
+  const int reps = 15;
+  double quiet_seconds = -1.0, armed_seconds = -1.0;
+  for (int r = 0; r < reps; ++r) {
+    failpoint::DisarmAll();
+    double quiet = TimeBest(1, [&] {
+      quiet_value =
+          ExactSkylineProbability(data, 0, model, options, &stats).value();
+    });
+    if (quiet_seconds < 0.0 || quiet < quiet_seconds) quiet_seconds = quiet;
+    for (const failpoint::KnownSite& site : failpoint::KnownSites()) {
+      failpoint::ArmSchedule(site.name, never);
+    }
+    double armed = TimeBest(1, [&] {
+      armed_value =
+          ExactSkylineProbability(data, 0, model, options, &stats).value();
+    });
+    if (armed_seconds < 0.0 || armed < armed_seconds) armed_seconds = armed;
+  }
+  failpoint::DisarmAll();
+  SKYPREF_CHECK(quiet_value == armed_value);  // quiet sites change no math
+
+#if defined(SKYPREF_FAILPOINTS) && SKYPREF_FAILPOINTS
+  const bool compiled_in = true;
+#else
+  const bool compiled_in = false;
+#endif
+  double overhead_percent =
+      100.0 * (armed_seconds - quiet_seconds) / quiet_seconds;
+  std::ostringstream json;
+  json << "  \"chaos_armed_quiet\": {\n"
+       << "    \"objects\": " << gen.objects << ",\n"
+       << "    \"subsets\": " << stats.subsets_visited << ",\n"
+       << "    \"sites_armed\": " << failpoint::KnownSites().size() << ",\n"
+       << "    \"unarmed_seconds\": " << FormatDouble(quiet_seconds) << ",\n"
+       << "    \"armed_seconds\": " << FormatDouble(armed_seconds) << ",\n"
+       << "    \"overhead_percent\": " << FormatDouble(overhead_percent)
+       << ",\n"
+       << "    \"failpoints_compiled_in\": "
+       << (compiled_in ? "true" : "false") << ",\n"
        << "    \"bit_identical\": true\n"
        << "  }";
   return json.str();
@@ -574,7 +656,9 @@ int Main(int argc, char** argv) {
   std::fprintf(stderr, "bench_hotpath: batch all-objects...\n");
   json << BenchBatch() << ",\n";
   std::fprintf(stderr, "bench_hotpath: resilience overhead...\n");
-  json << BenchResilience() << "\n}\n";
+  json << BenchResilience() << ",\n";
+  std::fprintf(stderr, "bench_hotpath: chaos armed-but-quiet overhead...\n");
+  json << BenchChaosQuiet() << "\n}\n";
 
   std::ofstream out(path);
   if (!out) {

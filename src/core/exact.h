@@ -69,6 +69,7 @@
 #include "src/util/failpoint.h"
 #include "src/util/hash.h"
 #include "src/util/status.h"
+#include "src/util/try_alloc.h"
 
 namespace skypref {
 
@@ -276,7 +277,14 @@ class FlatExactEngine {
 
   bool ChargeVisit() {
     ++visited_;
-    if (SKYPREF_FAILPOINT("exact.dfs")) {
+    // The failpoint consults on the solve's first visit plus the same
+    // amortized cadence as the deadline poll below — a per-visit consult
+    // would put an atomic RMW in the DFS hot loop and blow the
+    // armed-but-quiet overhead budget (bench_hotpath chaos_armed_quiet).
+    // Hit ordinals therefore count (solve entries + poll crossings), and
+    // a kSingle n=1 arming still fails the first armed solve.
+    if ((visited_ == 1 || (visited_ & 0xfff) == 0) &&
+        SKYPREF_FAILPOINT("exact.dfs")) {
       status_ = Status::ResourceExhausted("failpoint exact.dfs");
       return false;
     }
@@ -379,7 +387,14 @@ class LookupExactEngine {
 
   bool ChargeVisit() {
     ++visited_;
-    if (SKYPREF_FAILPOINT("exact.dfs")) {
+    // The failpoint consults on the solve's first visit plus the same
+    // amortized cadence as the deadline poll below — a per-visit consult
+    // would put an atomic RMW in the DFS hot loop and blow the
+    // armed-but-quiet overhead budget (bench_hotpath chaos_armed_quiet).
+    // Hit ordinals therefore count (solve entries + poll crossings), and
+    // a kSingle n=1 arming still fails the first armed solve.
+    if ((visited_ == 1 || (visited_ & 0xfff) == 0) &&
+        SKYPREF_FAILPOINT("exact.dfs")) {
       status_ = Status::ResourceExhausted("failpoint exact.dfs");
       return false;
     }
@@ -449,8 +464,14 @@ Result<typename Oracle::NumType> ExactSkylineProbability(
                                                oracle, options);
     return engine.Run(stats);
   }
-  internal::FlatInstance<Oracle> instance =
-      internal::BuildFlatInstance(data, target, candidates, oracle);
+  // The flattened instance is the solve's one big allocation; through
+  // TryAlloc its failure is ResourceExhausted, which degrades through
+  // the resilient ladder like a blown budget instead of terminating.
+  SKYPREF_ASSIGN_OR_RETURN(
+      internal::FlatInstance<Oracle> instance,
+      TryAlloc("alloc.exact.flat_instance", [&] {
+        return internal::BuildFlatInstance(data, target, candidates, oracle);
+      }));
   internal::FlatExactEngine<Oracle> engine(instance, options);
   return engine.Run(stats);
 }

@@ -6,7 +6,9 @@
 #include <limits>
 #include <memory>
 #include <numeric>
+#include <optional>
 #include <span>
+#include <string>
 #include <unordered_map>
 #include <utility>
 
@@ -15,8 +17,10 @@
 #include "src/core/partition.h"
 #include "src/util/cancel.h"
 #include "src/util/check.h"
+#include "src/util/failpoint.h"
 #include "src/util/hash.h"
 #include "src/util/random.h"
+#include "src/util/try_alloc.h"
 
 namespace skypref {
 
@@ -91,8 +95,15 @@ Result<double> ParallelExactSkylineProbability(
                        parallel.exact_tasks > 1 &&
                        groups[g].size() >= parallel.min_split_candidates;
     if (split) {
-      instances[g] = internal::BuildFlatInstance(
-          data, target, std::span<const ObjectId>(groups[g]), oracle);
+      auto built = TryAlloc("alloc.exact.flat_instance", [&] {
+        return internal::BuildFlatInstance(
+            data, target, std::span<const ObjectId>(groups[g]), oracle);
+      });
+      if (!built.ok()) {
+        statuses[g] = built.status();
+        continue;
+      }
+      instances[g] = std::move(built).value();
       engines[g] =
           std::make_unique<internal::ParallelExactEngine<DoubleOracle>>(
               instances[g], opts, parallel.exact_tasks);
@@ -180,6 +191,20 @@ class CachedDoubleOracle {
   const PairProbCache* cache_;
 };
 
+/// Whether a failed target is worth one re-dispatch. Deterministic
+/// failures are not: a blown subset budget or expired deadline fails
+/// identically on retry (the messages below are the exact engines' fixed
+/// strings, src/core/exact.h). Everything else ResourceExhausted —
+/// allocation failure, injected scheduler faults — is transient: the
+/// memory pressure or fault window that killed the first dispatch has
+/// typically passed by the time the batch drains.
+bool TransientFailure(const Status& status) {
+  if (status.code() != StatusCode::kResourceExhausted) return false;
+  const std::string& message = status.message();
+  return message.find("subset budget") == std::string::npos &&
+         message.find("time limit") == std::string::npos;
+}
+
 }  // namespace
 
 Result<std::vector<double>> BatchExactSkylineProbabilities(
@@ -197,10 +222,18 @@ Result<std::vector<double>> BatchExactSkylineProbabilities(
   exact.deadline = internal::ResolveDeadline(exact);
 
   // Phase A: absorption + partition per target, sharing the global
-  // posting lists; chunked so each worker recycles one workspace.
+  // posting lists; chunked so each worker recycles one workspace. A
+  // target whose workspace allocation fails is marked here and stamped
+  // NaN in Phase C — groups[t].empty() cannot signal the failure because
+  // full absorption legitimately leaves a target with no groups. The
+  // postings outlive Phase A so the retry pass can rebuild a failed
+  // target's partition.
   std::vector<std::vector<std::vector<ObjectId>>> groups(n);
+  std::vector<Status> statuses(n);
+  std::vector<unsigned char> phase_a_failed(n, 0);
+  std::optional<ValuePostings> postings;
   if (options.preprocess) {
-    ValuePostings postings(data);
+    postings.emplace(data);
     constexpr std::size_t kChunk = 16;
     const std::size_t chunks = (n + kChunk - 1) / kChunk;
     pool.ParallelFor(chunks, [&](std::size_t c) {
@@ -208,10 +241,18 @@ Result<std::vector<double>> BatchExactSkylineProbabilities(
       const std::size_t begin = c * kChunk;
       const std::size_t end = std::min(n, begin + kChunk);
       for (ObjectId t = begin; t < end; ++t) {
-        std::vector<ObjectId> candidates =
-            AbsorbAllCandidatesIndexed(data, t, postings);
-        groups[t] = PartitionCandidates(
-            data, t, std::span<const ObjectId>(candidates), workspace);
+        auto built = TryAlloc("alloc.batch.partition", [&] {
+          std::vector<ObjectId> candidates =
+              AbsorbAllCandidatesIndexed(data, t, *postings);
+          return PartitionCandidates(
+              data, t, std::span<const ObjectId>(candidates), workspace);
+        });
+        if (built.ok()) {
+          groups[t] = std::move(built).value();
+        } else {
+          statuses[t] = built.status();
+          phase_a_failed[t] = 1;
+        }
       }
     });
   } else {
@@ -225,6 +266,7 @@ Result<std::vector<double>> BatchExactSkylineProbabilities(
     }
   }
   for (ObjectId t = 0; t < n; ++t) {
+    if (phase_a_failed[t] != 0) continue;  // no partition to account for
     std::size_t after = 0;
     for (const auto& group : groups[t]) {
       after += group.size();
@@ -277,7 +319,6 @@ Result<std::vector<double>> BatchExactSkylineProbabilities(
 
   CachedDoubleOracle cached(cache);
   std::vector<double> results(n, 1.0);
-  std::vector<Status> statuses(n);
   std::vector<std::uint64_t> visited(n, 0);
   pool.ParallelFor(n, [&](std::size_t k) {
     const ObjectId t = order[k];
@@ -291,6 +332,12 @@ Result<std::vector<double>> BatchExactSkylineProbabilities(
     }
     if (exact.cancel != nullptr && exact.cancel->cancelled()) {
       statuses[t] = CancelledStatus();
+      results[t] = std::numeric_limits<double>::quiet_NaN();
+      return;
+    }
+    if (!statuses[t].ok()) {
+      // Phase A could not build this target's partition; an empty
+      // groups[t] would silently solve to probability 1.0.
       results[t] = std::numeric_limits<double>::quiet_NaN();
       return;
     }
@@ -317,6 +364,70 @@ Result<std::vector<double>> BatchExactSkylineProbabilities(
       results[t] = std::numeric_limits<double>::quiet_NaN();
     }
   });
+
+  // Retry salvage pass: each target that failed on a TRANSIENT fault
+  // gets ONE serial re-dispatch against the remaining shared deadline
+  // before being stamped NaN for good. Determinism contract:
+  //  * retry order is ascending ObjectId — independent of the
+  //    largest-work-first schedule and of thread count;
+  //  * a salvaged target's value is bit-identical to its fault-free
+  //    value (retries solve through the plain oracle, whose doubles are
+  //    by construction the cache's entries — and a target whose Phase A
+  //    failed has no entries in the cache at all);
+  //  * targets that already succeeded are never touched.
+  if (options.retry_failed_targets) {
+    for (ObjectId t = 0; t < n; ++t) {
+      if (statuses[t].ok() || !TransientFailure(statuses[t])) continue;
+      if (exact.cancel != nullptr && exact.cancel->cancelled()) break;
+      if (exact.deadline.has_value() && exact.deadline.Expired()) break;
+      ++local.retried_targets;
+      // The retry dispatch has its own failpoint so chaos schedules can
+      // fail the salvage itself (a double fault must still stamp NaN
+      // plus a well-formed Status, never a bogus value).
+      if (SKYPREF_FAILPOINT("batch.retry")) {
+        statuses[t] = Status::ResourceExhausted("failpoint batch.retry");
+        continue;
+      }
+      if (phase_a_failed[t] != 0) {
+        auto rebuilt = TryAlloc("alloc.batch.partition", [&] {
+          PartitionWorkspace workspace;
+          std::vector<ObjectId> candidates =
+              AbsorbAllCandidatesIndexed(data, t, *postings);
+          return PartitionCandidates(
+              data, t, std::span<const ObjectId>(candidates), workspace);
+        });
+        if (!rebuilt.ok()) {
+          statuses[t] = rebuilt.status();
+          continue;
+        }
+        groups[t] = std::move(rebuilt).value();
+        phase_a_failed[t] = 0;
+      }
+      double product = 1.0;
+      Status status;
+      for (const auto& group : groups[t]) {
+        ExactStats exact_stats;
+        auto result = ExactSkylineProbability(
+            data, t, std::span<const ObjectId>(group), oracle, exact,
+            &exact_stats);
+        visited[t] += exact_stats.subsets_visited;
+        if (!result.ok()) {
+          status = result.status();
+          break;
+        }
+        SKYPREF_DCHECK_PROB(result.value());
+        product *= result.value();
+      }
+      if (status.ok()) {
+        SKYPREF_DCHECK_PROB(product);
+        results[t] = ClampProbability(product);
+        statuses[t] = Status::OK();
+        ++local.salvaged_targets;
+      } else {
+        statuses[t] = status;
+      }
+    }
+  }
 
   // A failed target no longer aborts the batch: its slot carries NaN and
   // its Status lands in stats->target_status, while every target that

@@ -11,6 +11,7 @@
 #include "src/core/sam_internal.h"
 #include "src/util/check.h"
 #include "src/util/random.h"
+#include "src/util/try_alloc.h"
 
 namespace skypref {
 
@@ -251,8 +252,20 @@ Result<MonteCarloResult> BitSlicedMonteCarloSkylineProbability(
     return CancelledStatus();
   }
 
-  FlatSamInstance inst = PruneImpossible(
-      internal::BuildFlatSamInstance(data, target, ordered, model));
+  SKYPREF_ASSIGN_OR_RETURN(FlatSamInstance inst,
+                           TryAlloc("alloc.sam.instance", [&] {
+                             return PruneImpossible(
+                                 internal::BuildFlatSamInstance(data, target,
+                                                                ordered, model));
+                           }));
+  // The per-block mask-memo arenas are allocated inside worker dispatch,
+  // where no Status can surface; probe the allocation once up front so
+  // an injected (or organic) arena failure lands here deterministically.
+  {
+    auto probe = TryAlloc("alloc.sam.slice_arena",
+                          [&] { return SliceState(inst.pair_count()); });
+    SKYPREF_RETURN_IF_ERROR(probe.status());
+  }
   const std::uint64_t num_blocks =
       (samples + options.block_size - 1) / options.block_size;
   std::vector<std::uint64_t> survived(num_blocks, 0);
@@ -328,7 +341,17 @@ Result<std::vector<double>> BitSlicedBatchMonteCarloSkylineProbabilities(
 
   BatchSamStats local;
   local.requested_samples = samples;
-  BatchPlan plan = internal::BuildBatchPlan(data, model, pool, options, local);
+  SKYPREF_ASSIGN_OR_RETURN(
+      BatchPlan plan, TryAlloc("alloc.sam.batch_plan", [&] {
+        return internal::BuildBatchPlan(data, model, pool, options, local);
+      }));
+  // Same up-front probe as the single-target engine: the per-block
+  // arenas themselves are built where no Status can surface.
+  {
+    auto probe = TryAlloc("alloc.sam.slice_arena",
+                          [&] { return BatchSliceState(plan.pair_count()); });
+    SKYPREF_RETURN_IF_ERROR(probe.status());
+  }
 
   const std::uint64_t num_blocks =
       (samples + mc.block_size - 1) / mc.block_size;

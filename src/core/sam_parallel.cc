@@ -9,6 +9,7 @@
 #include "src/core/sam_internal.h"
 #include "src/util/check.h"
 #include "src/util/random.h"
+#include "src/util/try_alloc.h"
 
 namespace skypref {
 
@@ -133,8 +134,11 @@ Result<MonteCarloResult> BlockMonteCarloSkylineProbability(
     return CancelledStatus();
   }
 
-  FlatSamInstance inst =
-      internal::BuildFlatSamInstance(data, target, ordered, model);
+  SKYPREF_ASSIGN_OR_RETURN(FlatSamInstance inst,
+                           TryAlloc("alloc.sam.instance", [&] {
+                             return internal::BuildFlatSamInstance(
+                                 data, target, ordered, model);
+                           }));
   const std::uint64_t num_blocks =
       (samples + options.block_size - 1) / options.block_size;
   std::vector<std::uint64_t> survived(num_blocks, 0);
@@ -265,7 +269,10 @@ Result<std::vector<double>> BatchMonteCarloSkylineProbabilities(
 
   BatchSamStats local;
   local.requested_samples = samples;
-  BatchPlan plan = internal::BuildBatchPlan(data, model, pool, options, local);
+  SKYPREF_ASSIGN_OR_RETURN(
+      BatchPlan plan, TryAlloc("alloc.sam.batch_plan", [&] {
+        return internal::BuildBatchPlan(data, model, pool, options, local);
+      }));
 
   // Phase C: the shared world stream, fanned out in deterministic blocks
   // (same runner, same "sampler.block" failpoint, same truncation

@@ -35,6 +35,14 @@ namespace skypref {
 struct SolverOptions {
   /// Run absorption + partition first (the "+" algorithm variants).
   bool preprocess = true;
+  /// Batch solves only: give each target that failed on a TRANSIENT
+  /// fault (allocation failure, injected scheduler fault — never a blown
+  /// budget or deadline, which fail identically on retry) one serial
+  /// re-dispatch against the remaining shared deadline before stamping
+  /// it NaN. Retry order is ascending ObjectId and salvaged values are
+  /// bit-identical to their fault-free values; see
+  /// BatchExactSkylineProbabilities.
+  bool retry_failed_targets = true;
   ExactOptions exact;
   MonteCarloOptions monte_carlo;
 };
@@ -117,6 +125,12 @@ struct BatchExactStats {
   std::vector<Status> target_status;
   /// Number of non-OK entries in target_status.
   std::size_t failed_targets = 0;
+  /// Targets re-dispatched by the retry salvage pass (transient failures
+  /// only; see SolverOptions::retry_failed_targets).
+  std::size_t retried_targets = 0;
+  /// Retried targets whose re-dispatch succeeded; these carry their
+  /// bit-identical exact value and an OK target_status, not NaN.
+  std::size_t salvaged_targets = 0;
 };
 
 /// Exact sky(target) for EVERY object of the dataset (the all-objects
@@ -141,8 +155,14 @@ struct BatchExactStats {
 /// deadline does NOT abort the batch. Its result slot is NaN, its Status
 /// is recorded in BatchExactStats::target_status, and every other target
 /// still receives its bit-identical exact value (salvage the failures
-/// with the resilient ladder, src/core/resilient.h). The call itself
-/// fails only on invalid input or when options.exact.cancel is tripped —
+/// with the resilient ladder, src/core/resilient.h). Before stamping
+/// NaN, targets that failed on TRANSIENT faults — allocation failure,
+/// injected scheduler faults, anything ResourceExhausted that is not a
+/// deterministic budget/deadline exhaustion — get one re-dispatch in
+/// ascending ObjectId order against the remaining shared deadline
+/// (SolverOptions::retry_failed_targets); salvaged values are
+/// bit-identical to their fault-free values. The call itself fails only
+/// on invalid input or when options.exact.cancel is tripped —
 /// cancellation abandons the whole query with Status::Cancelled.
 Result<std::vector<double>> BatchExactSkylineProbabilities(
     const Dataset& data, const PreferenceModel& model, ThreadPool& pool,

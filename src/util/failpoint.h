@@ -3,19 +3,19 @@
 
 /// \file
 /// Deterministic failpoints: named fault-injection sites, compiled out
-/// of release builds.
+/// of release builds, plus seeded chaos schedules over every site.
 ///
 /// Every graceful-degradation path in the solver stack (budget
-/// exhaustion, deadline expiry, task abort, per-target batch salvage)
-/// must be exercised by tests, not hoped-for. Failpoints make those
-/// paths reachable on demand: a site is a named checkpoint in solver
-/// code, and a test arms it to fire on its N-th hit — the classic
-/// fail-N-th-hit pattern — after which the site behaves exactly like the
-/// organic failure it simulates (the DFS reports ResourceExhausted, the
-/// sampler sees its deadline expired, the parallel engine aborts its
-/// task, the batch scheduler fails one target).
+/// exhaustion, deadline expiry, task abort, per-target batch salvage,
+/// allocation failure) must be exercised by tests, not hoped-for.
+/// Failpoints make those paths reachable on demand: a site is a named
+/// checkpoint in solver code, and a test arms it to fire on a chosen
+/// pattern of its hit sequence — after which the site behaves exactly
+/// like the organic failure it simulates (the DFS reports
+/// ResourceExhausted, the sampler sees its deadline expired, the
+/// allocation wrapper reports the allocation failed).
 ///
-/// Code pattern at a site:
+/// Code pattern at an execution site:
 ///
 ///     if (SKYPREF_FAILPOINT("exact.dfs")) {
 ///       status_ = Status::ResourceExhausted("failpoint exact.dfs");
@@ -23,33 +23,130 @@
 ///     }
 ///
 /// With SKYPREF_FAILPOINTS off (the default, and all release presets)
-/// the macro is the constant `false`, so sites cost nothing and the
+/// the macros are the constant `false`, so sites cost nothing and the
 /// registry is not linked in. With -DSKYPREF_FAILPOINTS=ON (the
-/// asan-ubsan and tsan presets) the macro consults the registry.
+/// asan-ubsan and tsan presets) the macros consult the registry.
 ///
-/// Determinism: hit counters are per-site process-global atomics, so the
-/// N-th hit is unique even when many threads pass the site concurrently
-/// — exactly one caller observes the trigger, at a deterministic point
-/// in the site's own hit sequence. Sites are placed at the solvers'
-/// existing deterministic checkpoints (visit-count cadences, task
-/// starts, per-target dispatch), so "fires on hit N" selects the same
-/// logical work unit at every thread count.
+/// # Fault kinds
+///
+/// A site is consulted through one of three macros, matching the three
+/// site classes of the canonical registry (kKnownSites, failpoint.cc):
+///
+///  * SKYPREF_FAILPOINT        — execution sites; a firing hit means
+///                               "fail here" (FaultKind::kFail);
+///  * SKYPREF_ALLOC_FAILPOINT  — allocation sites consulted by TryAlloc
+///                               (src/util/try_alloc.h); a firing hit
+///                               means "this allocation failed"
+///                               (FaultKind::kAllocFail);
+///  * SKYPREF_WAKE_FAILPOINT   — wait sites; while armed with
+///                               FaultKind::kSpuriousWake the consulting
+///                               code floods its condition variables
+///                               with spurious notifications.
+///
+/// FaultKind::kDelay cross-cuts the first two: a firing hit sleeps a
+/// bounded number of microseconds and reports `false`, opening race
+/// windows without changing any result. A schedule whose kind does not
+/// match the consulting macro's class absorbs hits without firing, so
+/// seeded schedules can arm every site safely.
+///
+/// # Hit patterns and seeded schedules
+///
+/// Beyond the classic fail-N-th-hit single pattern, a Schedule can fire
+/// periodically (every n-th hit at a phase) or probabilistically (a
+/// seeded hash of the hit ordinal against a threshold — deterministic
+/// per (salt, ordinal), no PRNG state). ArmSeededSchedule(seed) derives
+/// one Schedule per registered site from a single 64-bit seed, so an
+/// entire compound fault scenario is reproducible from one number.
+///
+/// Determinism: hit counters are per-site process-global atomics, so
+/// each pattern is evaluated against the site's own deterministic hit
+/// ordinal sequence. With 0 or 1 worker threads the firing hits select
+/// the same logical work units on every run; with more threads the SET
+/// of firing ordinals is still seed-deterministic, but which concurrent
+/// work unit absorbs a given ordinal races (the chaos invariants are
+/// therefore schedule-level, not casualty-set-level — see
+/// tools/skypref_chaos.cc).
+///
+/// Arming and disarming are atomic with respect to concurrent hits: each
+/// arming publishes a fresh counter object, so threads mid-site keep
+/// charging the counter they snapshotted and can never corrupt a
+/// restarted countdown. "Fires exactly once" (kSingle) holds per arming.
 ///
 /// Failpoints are test-only infrastructure: tests arm/disarm around each
 /// case (see ScopedFailpoint) and must not leave sites armed. The
 /// registry is thread-safe; the unarmed fast path is one relaxed atomic
 /// load of a global counter, no lock.
 
+#include <cstddef>
 #include <cstdint>
+#include <span>
 
 namespace skypref {
 namespace failpoint {
 
+/// What a firing hit does at the consulting site.
+enum class FaultKind : std::uint8_t {
+  kFail,          ///< execution sites: report the simulated failure
+  kDelay,         ///< any site: bounded sleep, then behave unarmed
+  kAllocFail,     ///< allocation sites: the allocation reports failure
+  kSpuriousWake,  ///< wait sites: flood the waiters with notifications
+};
+
+/// Which macro a site is consulted through (and therefore which fault
+/// kinds can fire at it).
+enum class SiteClass : std::uint8_t {
+  kExecution,   ///< SKYPREF_FAILPOINT
+  kAllocation,  ///< SKYPREF_ALLOC_FAILPOINT
+  kWait,        ///< SKYPREF_WAKE_FAILPOINT
+};
+
+/// One armed fault: kind, hit pattern, and the pattern's parameters.
+struct Schedule {
+  enum class Pattern : std::uint8_t {
+    kSingle,         ///< fire on hit n exactly (once per arming)
+    kPeriodic,       ///< fire on every hit h with h % n == phase % n
+    kProbabilistic,  ///< fire when HashMix(salt ^ h) < threshold
+  };
+
+  FaultKind kind = FaultKind::kFail;
+  Pattern pattern = Pattern::kSingle;
+  std::uint64_t n = 1;             ///< kSingle: the firing hit; kPeriodic: period
+  std::uint64_t phase = 0;         ///< kPeriodic: offset within the period
+  std::uint64_t threshold = 0;     ///< kProbabilistic: firing cutoff
+  std::uint64_t salt = 0;          ///< kProbabilistic: per-arming hash salt
+  std::uint32_t delay_micros = 0;  ///< kDelay: sleep per firing hit
+};
+
+/// One entry of the canonical site registry (kKnownSites, failpoint.cc).
+/// Every SKYPREF_*FAILPOINT literal compiled into the tree must appear
+/// there — enforced by the `failpoint-site` lint rule and the coverage
+/// suite (tests/core/failpoint_coverage_test.cc).
+struct KnownSite {
+  const char* name;
+  SiteClass cls;
+};
+
+/// The canonical registry of every site compiled into the tree.
+std::span<const KnownSite> KnownSites();
+
 /// Arms \p site to trigger on its \p fire_on_hit-th hit from now
 /// (1-based; the counter restarts at arm time). Re-arming an armed site
-/// restarts its countdown. \p site must be a string literal or otherwise
-/// outlive the arming.
+/// restarts its countdown — atomically, even while other threads are
+/// mid-site. \p site must be a string literal or otherwise outlive the
+/// arming. Shorthand for ArmSchedule with a kSingle/kFail schedule.
 void Arm(const char* site, std::uint64_t fire_on_hit = 1);
+
+/// Arms \p site with an explicit schedule (see Schedule). Re-arming
+/// replaces the previous schedule and restarts the hit counter.
+void ArmSchedule(const char* site, const Schedule& schedule);
+
+/// Disarms every site, then arms each registered site whose derived roll
+/// says so with a Schedule derived deterministically from \p seed (kind,
+/// pattern and parameters all follow from seed and the site name; some
+/// rolls leave a site unarmed so compound scenarios vary in shape).
+/// Returns the number of sites armed. The derivation is pure: the same
+/// seed always arms the same schedules.
+std::size_t ArmSeededSchedule(std::uint64_t seed);
 
 /// Disarms \p site; hits pass through again. No-op when not armed.
 void Disarm(const char* site);
@@ -57,13 +154,41 @@ void Disarm(const char* site);
 /// Disarms every site and forgets all counters (test teardown).
 void DisarmAll();
 
+/// Number of currently armed sites (leak check for chaos teardown).
+std::size_t ArmedCount();
+
 /// Number of hits \p site has absorbed since it was armed (0 when the
 /// site is not armed). For tests asserting a site is actually reached.
 std::uint64_t HitCount(const char* site);
 
-/// True iff this hit is the armed N-th one. Called via SKYPREF_FAILPOINT
-/// only; triggers exactly once per arming.
+/// Process-cumulative count of faults actually injected (fired hits of
+/// any kind, spurious-wake consults included). Chaos drivers diff this
+/// around a run to report faults_injected.
+std::uint64_t FiredCount();
+
+/// True iff this hit fires a kFail schedule. Called via SKYPREF_FAILPOINT.
 bool Hit(const char* site);
+
+/// True iff this hit fires a kAllocFail schedule. Called via
+/// SKYPREF_ALLOC_FAILPOINT (through TryAlloc).
+bool AllocHit(const char* site);
+
+/// True while \p site is armed with kSpuriousWake. Called via
+/// SKYPREF_WAKE_FAILPOINT; each consult that finds the storm armed
+/// counts as one hit (and one injected fault).
+bool WakeStormArmed(const char* site);
+
+/// Coverage accounting: while enabled, every consult of every site —
+/// armed or not — is counted per site name. The coverage suite turns it
+/// on, runs a workload battery, and asserts every registered site was
+/// consulted at least once (dead or typo'd site names fail the test).
+void EnableCoverage(bool enabled);
+
+/// Consults counted for \p site since coverage was last reset.
+std::uint64_t CoverageCount(const char* site);
+
+/// Clears all coverage counters.
+void ResetCoverage();
 
 /// RAII arming for tests: arms in the constructor, disarms in the
 /// destructor, so a failing assertion cannot leak an armed site into the
@@ -73,6 +198,9 @@ class ScopedFailpoint {
   explicit ScopedFailpoint(const char* site, std::uint64_t fire_on_hit = 1)
       : site_(site) {
     Arm(site, fire_on_hit);
+  }
+  ScopedFailpoint(const char* site, const Schedule& schedule) : site_(site) {
+    ArmSchedule(site, schedule);
   }
   ~ScopedFailpoint() { Disarm(site_); }
 
@@ -88,8 +216,12 @@ class ScopedFailpoint {
 
 #if defined(SKYPREF_FAILPOINTS) && SKYPREF_FAILPOINTS
 #define SKYPREF_FAILPOINT(site) (::skypref::failpoint::Hit(site))
+#define SKYPREF_ALLOC_FAILPOINT(site) (::skypref::failpoint::AllocHit(site))
+#define SKYPREF_WAKE_FAILPOINT(site) (::skypref::failpoint::WakeStormArmed(site))
 #else
 #define SKYPREF_FAILPOINT(site) (false)
+#define SKYPREF_ALLOC_FAILPOINT(site) (false)
+#define SKYPREF_WAKE_FAILPOINT(site) (false)
 #endif
 
 #endif  // SKYPREF_UTIL_FAILPOINT_H_

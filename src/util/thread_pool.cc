@@ -1,6 +1,7 @@
 #include "src/util/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "src/util/failpoint.h"
 
@@ -68,6 +69,23 @@ void ThreadPool::ParallelFor(std::size_t count,
     for (std::size_t i = 0; i < count; ++i) fn(i);
     return;
   }
+  // Failpoint "threadpool.wait" (kSpuriousWake): flood both condition
+  // variables with notifications for the whole dispatch, so any wait
+  // whose predicate tolerates fewer wakeups than it receives — i.e. any
+  // single-wake assumption — misbehaves deterministically under test.
+  // notify_all without the mutex is legal for condition_variable_any;
+  // the storm only causes extra predicate re-evaluations.
+  std::atomic<bool> storm_stop{false};
+  std::thread wake_storm;
+  if (SKYPREF_WAKE_FAILPOINT("threadpool.wait")) {
+    wake_storm = std::thread([this, &storm_stop] {
+      while (!storm_stop.load(std::memory_order_relaxed)) {
+        work_available_.notify_all();
+        work_done_.notify_all();
+        std::this_thread::yield();
+      }
+    });
+  }
   mutex_.Lock();
   current_fn_ = &fn;
   next_index_ = 0;
@@ -82,12 +100,23 @@ void ThreadPool::ParallelFor(std::size_t count,
     mutex_.Lock();
     --in_flight_;
   }
+  // Spurious-wakeup audit: both waits in this file are predicate-driven
+  // (condition_variable_any re-evaluates under mutex_ on EVERY wake), so
+  // no single-wake assumption exists to break. The compound predicate
+  // here additionally re-checks the index range, not just in_flight_:
+  // the caller's drain loop above observed next_index_ >= end_index_
+  // once, but a wake storm must not let the wait conclude while indices
+  // could still be outstanding in any future refactor of the drain.
   work_done_.wait(mutex_, [this] {
     mutex_.AssertHeld();
-    return in_flight_ == 0;
+    return next_index_ >= end_index_ && in_flight_ == 0;
   });
   current_fn_ = nullptr;
   mutex_.Unlock();
+  if (wake_storm.joinable()) {
+    storm_stop.store(true, std::memory_order_relaxed);
+    wake_storm.join();
+  }
 }
 
 }  // namespace skypref

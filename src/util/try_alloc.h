@@ -1,0 +1,69 @@
+#ifndef SKYPREF_UTIL_TRY_ALLOC_H_
+#define SKYPREF_UTIL_TRY_ALLOC_H_
+
+/// \file
+/// Fallible allocation boundary: run an allocating builder, report
+/// failure as Status::ResourceExhausted instead of terminating.
+///
+/// The solver stack's big allocations — flattened instances, bit-slice
+/// arenas, batch plans, partition workspaces — are each a single
+/// front-loaded builder call. Wrapping that call in TryAlloc turns an
+/// allocation failure into the same ResourceExhausted the budget and
+/// deadline paths produce, so it degrades through the resilient ladder
+/// (Det+ -> Sam+ -> bounds, src/core/resilient.h) or the batch salvage
+/// pass instead of killing a long-lived process.
+///
+///     SKYPREF_ASSIGN_OR_RETURN(
+///         internal::FlatInstance<Oracle> instance,
+///         TryAlloc("alloc.exact.flat_instance", [&] {
+///           return internal::BuildFlatInstance(data, target, candidates,
+///                                              oracle);
+///         }));
+///
+/// Each wrapped call names an allocation failpoint site (SiteClass::
+/// kAllocation in the canonical registry, src/util/failpoint.cc), so
+/// chaos schedules can inject kAllocFail at exactly these boundaries and
+/// prove the degradation path end to end.
+///
+/// This is the ONE place library code touches std::bad_alloc: the
+/// builder runs under a catch that converts it to Status, keeping the
+/// "library code never throws" contract at every other boundary. When
+/// the toolchain builds without exception support the catch compiles
+/// away and genuine exhaustion terminates as before — the failpoint
+/// path (and therefore the whole test story) is unaffected.
+
+#include <new>
+#include <string>
+#include <type_traits>
+#include <utility>
+
+#include "src/util/failpoint.h"
+#include "src/util/status.h"
+
+namespace skypref {
+
+/// Runs the allocating builder \p fn and returns its value, or
+/// ResourceExhausted when the allocation fails — injected via the
+/// \p site failpoint, or organically via std::bad_alloc.
+template <typename Fn>
+auto TryAlloc(const char* site, Fn&& fn)
+    -> Result<std::invoke_result_t<Fn&&>> {
+  if (SKYPREF_ALLOC_FAILPOINT(site)) {
+    return Status::ResourceExhausted(
+        std::string("allocation failed (injected): ") + site);
+  }
+#if defined(__cpp_exceptions)
+  try {  // skypref-lint: allow(no-exceptions) — the alloc-failure boundary
+    return std::forward<Fn>(fn)();
+  } catch (const std::bad_alloc&) {  // skypref-lint: allow(no-exceptions)
+    return Status::ResourceExhausted(std::string("allocation failed: ") +
+                                     site);
+  }
+#else
+  return std::forward<Fn>(fn)();
+#endif
+}
+
+}  // namespace skypref
+
+#endif  // SKYPREF_UTIL_TRY_ALLOC_H_

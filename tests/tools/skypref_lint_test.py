@@ -366,6 +366,75 @@ class MutexGuardedByRule(LintHarness):
         self.assertEqual(self.rules("src/core/x.cc"), [])
 
 
+class FailpointSiteRule(LintHarness):
+    """Failpoint-site checks need the tree-wide pass (main) because the
+
+    known-site set is harvested from src/util/failpoint.cc.  The two-arg
+    check_file path used by the other suites skips the rule by design.
+    """
+
+    REGISTRY = ("constexpr KnownSite kKnownSites[] = {\n"
+                '    {"exact.dfs", SiteClass::kExecution},\n'
+                '    {"threadpool.wait", SiteClass::kWait},\n'
+                '    {"alloc.exact.flat_instance", SiteClass::kAllocation},\n'
+                "};\n")
+
+    def test_registered_site_clean(self):
+        self.write("src/util/failpoint.cc", self.REGISTRY)
+        self.write("src/core/x.cc",
+                   'void F() { if (SKYPREF_FAILPOINT("exact.dfs")) return; }\n')
+        code, out, _ = self.run_lint()
+        self.assertEqual(code, 0, out)
+
+    def test_unregistered_site_flagged(self):
+        self.write("src/util/failpoint.cc", self.REGISTRY)
+        self.write("src/core/x.cc",
+                   'void F() { if (SKYPREF_FAILPOINT("exact.typo")) return; }\n')
+        code, out, _ = self.run_lint()
+        self.assertEqual(code, 1)
+        self.assertIn("src/core/x.cc:1: [failpoint-site]", out)
+        self.assertIn("exact.typo", out)
+
+    def test_alloc_macro_checked_too(self):
+        self.write("src/util/failpoint.cc", self.REGISTRY)
+        self.write("src/core/x.cc",
+                   'void F() {\n'
+                   '  if (SKYPREF_ALLOC_FAILPOINT("alloc.exact.flat_instance"))'
+                   ' return;\n'
+                   '  if (SKYPREF_ALLOC_FAILPOINT("alloc.nope")) return;\n'
+                   '}\n')
+        code, out, _ = self.run_lint()
+        self.assertEqual(code, 1)
+        self.assertIn("src/core/x.cc:3: [failpoint-site]", out)
+        self.assertNotIn("x.cc:2:", out)
+
+    def test_wake_macro_checked_too(self):
+        self.write("src/util/failpoint.cc", self.REGISTRY)
+        self.write("src/core/x.cc",
+                   'void F() {\n'
+                   '  if (SKYPREF_WAKE_FAILPOINT("threadpool.sleep")) return;\n'
+                   '}\n')
+        code, out, _ = self.run_lint()
+        self.assertEqual(code, 1)
+        self.assertIn("[failpoint-site]", out)
+
+    def test_comment_mention_ignored(self):
+        self.write("src/util/failpoint.cc", self.REGISTRY)
+        self.write("src/core/x.cc",
+                   '// e.g. SKYPREF_FAILPOINT("bogus.site") fires here\n'
+                   "void F() {}\n")
+        code, out, _ = self.run_lint()
+        self.assertEqual(code, 0, out)
+
+    def test_missing_registry_skips_rule(self):
+        # No src/util/failpoint.cc in the tree: the rule cannot know the
+        # site table, so it must stay silent rather than flag everything.
+        self.write("src/core/x.cc",
+                   'void F() { if (SKYPREF_FAILPOINT("exact.typo")) return; }\n')
+        code, out, _ = self.run_lint()
+        self.assertEqual(code, 0, out)
+
+
 class CliBehavior(LintHarness):
     def test_clean_tree_exits_zero(self):
         self.write("src/core/x.cc", "int F() { return 1; }\n")

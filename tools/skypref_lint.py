@@ -48,6 +48,14 @@ in a trailing comment, which must state why):
                   annotations state (src/util/thread_annotations.h has
                   the conventions). The wrapper's own home file is
                   exempt — it holds the one raw std::mutex by design.
+  failpoint-site  A SKYPREF_FAILPOINT / SKYPREF_ALLOC_FAILPOINT /
+                  SKYPREF_WAKE_FAILPOINT site literal that is absent from
+                  the canonical kKnownSites registry in
+                  src/util/failpoint.cc. Unregistered sites are invisible
+                  to seeded chaos schedules and the coverage suite — a
+                  typo'd name silently tests nothing. Skipped when the
+                  registry file is not under the repo root (single-file
+                  invocations outside the tree).
 
 Usage:
   tools/skypref_lint.py [paths...]     # default: src/
@@ -74,6 +82,7 @@ RULE_FLOAT_EQ = "float-eq"
 RULE_INCLUDE_GUARD = "include-guard"
 RULE_DISCARDED_STATUS = "discarded-status"
 RULE_MUTEX_GUARDED_BY = "mutex-guarded-by"
+RULE_FAILPOINT_SITE = "failpoint-site"
 
 EXCEPTION_RE = re.compile(r"\b(throw|try|catch)\b")
 RAW_RANDOM_RE = re.compile(r"\b(?:s?rand)\s*\(|std::random_device")
@@ -116,6 +125,33 @@ STATUS_DECL_RE = re.compile(
     r"\b(?:Status|Result<[^;(){}]*>)\s+"
     r"(?:[A-Za-z_]\w*::)*([A-Za-z_]\w*)\s*\("
 )
+
+# A failpoint macro invocation with its site literal. The literal lives
+# inside a string, which strip_code blanks, so this regex runs against
+# the RAW line — gated on the stripped line still containing the macro
+# name, which keeps comment mentions (blanked entirely) out.
+FAILPOINT_MACRO_RE = re.compile(
+    r"\bSKYPREF_(?:ALLOC_|WAKE_)?FAILPOINT\s*\(\s*\"([^\"]+)\""
+)
+# One entry of the canonical site registry in FAILPOINT_REGISTRY_FILE:
+# `{"name", SiteClass::kExecution},` — the table is kept one entry per
+# line precisely so this parse stays trivial.
+KNOWN_SITE_RE = re.compile(r"\{\s*\"([^\"]+)\"\s*,\s*SiteClass::")
+FAILPOINT_REGISTRY_FILE = "src/util/failpoint.cc"
+
+
+def collect_known_sites(repo_root: Path) -> set | None:
+    """Site names of the canonical registry, or None (rule skipped) when
+    the registry file is absent — e.g. linting a file outside the tree."""
+    registry = repo_root / FAILPOINT_REGISTRY_FILE
+    if not registry.is_file():
+        return None
+    sites = set()
+    for line in registry.read_text(encoding="utf-8").split("\n"):
+        m = KNOWN_SITE_RE.search(line)
+        if m:
+            sites.add(m.group(1))
+    return sites
 
 # Statement keywords that legitimately start a line containing a call
 # whose value IS consumed (returned, tested, iterated).
@@ -218,7 +254,8 @@ def is_suppressed(raw_line: str, rule: str) -> bool:
 
 
 def check_file(path: Path, repo_root: Path,
-               status_functions: set | None = None) -> List[Finding]:
+               status_functions: set | None = None,
+               known_sites: set | None = None) -> List[Finding]:
     rel = path.relative_to(repo_root)
     raw = path.read_text(encoding="utf-8")
     raw_lines = raw.split("\n")
@@ -281,6 +318,14 @@ def check_file(path: Path, repo_root: Path,
                     "exact ==/!= against a floating-point literal in core "
                     "solver code (compare with a tolerance, or annotate a "
                     "deliberate exact-zero test)")
+        if known_sites is not None and "SKYPREF_" in code:
+            for m in FAILPOINT_MACRO_RE.finditer(raw_lines[lineno - 1]):
+                if m.group(1) not in known_sites:
+                    add(lineno, RULE_FAILPOINT_SITE,
+                        f"failpoint site \"{m.group(1)}\" is not in the "
+                        f"kKnownSites registry ({FAILPOINT_REGISTRY_FILE}) — "
+                        "seeded schedules and the coverage suite cannot "
+                        "see it")
         if (bare_call_re is not None
                 and at_statement_start
                 and "=" not in code
@@ -364,9 +409,12 @@ def main(argv: List[str]) -> int:
         status_functions |= collect_status_functions(
             strip_code(source.read_text(encoding="utf-8")))
 
+    known_sites = collect_known_sites(repo_root)
+
     findings: List[Finding] = []
     for source in sources:
-        findings.extend(check_file(source, repo_root, status_functions))
+        findings.extend(
+            check_file(source, repo_root, status_functions, known_sites))
 
     for finding in findings:
         print(finding)
